@@ -1,0 +1,95 @@
+//! E11 — untrusted jobs in a trusted environment (§5.5, §7).
+//!
+//! Two tables:
+//! 1. **Enforcement matrix** — hostile jarlets under the restrictive
+//!    policy, in both execution modes: everything must be blocked; only
+//!    in-process violations contaminate the host.
+//! 2. **Isolation overhead** — the cost of the "separate JVM" mode as a
+//!    function of program length (per-op crossing cost), the trade-off an
+//!    administrator weighs when "the Grid administrator must decide which
+//!    mode should be run".
+
+use infogram_bench::{banner, fmt_ratio, fmt_secs, table};
+use infogram_exec::sandbox::{run_jarlet, ExecMode, Jarlet, Policy};
+use infogram_host::machine::SimulatedHost;
+use infogram_sim::ManualClock;
+use std::sync::Arc;
+
+fn host() -> Arc<SimulatedHost> {
+    let h = SimulatedHost::default_on(ManualClock::new());
+    h.fs.write("/data/input.dat", "specimen");
+    h
+}
+
+fn main() {
+    banner(
+        "E11",
+        "sandboxed execution of untrusted jobs (§5.5/§7)",
+        "all hostile operations blocked in both modes; isolation adds a fixed \
+         per-op overhead but contains violations that in-process mode lets touch the host",
+    );
+
+    println!("\n-- enforcement matrix (restrictive policy) --");
+    let programs: [(&str, &str); 6] = [
+        ("well-behaved", "read /data/input.dat; compute 5; write /tmp/out x; print ok"),
+        ("fs-read-escape", "read /etc/grid-security/hostcert.pem"),
+        ("fs-write-escape", "write /etc/passwd pwned"),
+        ("net-exfiltration", "net evil.example.org:31337"),
+        ("fork-bomb", "spawn; spawn; spawn; spawn"),
+        ("compute-bomb", "compute 999999999"),
+    ];
+    let mut rows = Vec::new();
+    for (name, src) in programs {
+        let jarlet = Jarlet::parse(src).expect("parse");
+        let h = host();
+        let iso = run_jarlet(&jarlet, &Policy::restrictive(), ExecMode::Isolated, &h);
+        let h = host();
+        let inp = run_jarlet(&jarlet, &Policy::restrictive(), ExecMode::InProcess, &h);
+        rows.push(vec![
+            name.to_string(),
+            if iso.violations.is_empty() { "allowed" } else { "BLOCKED" }.to_string(),
+            if inp.violations.is_empty() { "allowed" } else { "BLOCKED" }.to_string(),
+            if iso.host_contaminated { "yes" } else { "no" }.to_string(),
+            if inp.host_contaminated { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    table(
+        &[
+            "program",
+            "isolated",
+            "in-process",
+            "host-hit (iso)",
+            "host-hit (inproc)",
+        ],
+        &rows,
+    );
+
+    println!("\n-- isolation overhead vs program length (permissive policy) --");
+    let mut rows = Vec::new();
+    for ops in [10usize, 100, 1000, 10_000] {
+        let src = vec!["compute 1"; ops].join("; ");
+        let jarlet = Jarlet::parse(&src).expect("parse");
+        let h = host();
+        let fast = run_jarlet(&jarlet, &Policy::permissive(), ExecMode::InProcess, &h);
+        let slow = run_jarlet(&jarlet, &Policy::permissive(), ExecMode::Isolated, &h);
+        let f = fast.runtime.as_secs_f64();
+        let s = slow.runtime.as_secs_f64();
+        rows.push(vec![
+            ops.to_string(),
+            fmt_secs(f),
+            fmt_secs(s),
+            fmt_secs(s - f),
+            fmt_ratio(s / f.max(1e-12)),
+        ]);
+    }
+    table(
+        &["ops", "in-process", "isolated", "overhead", "slowdown"],
+        &rows,
+    );
+    println!(
+        "\nreading: policy enforcement is identical in both modes (everything hostile\n\
+         blocked). The difference is the failure domain — an in-process violation\n\
+         reaches the host service — versus a constant ~50µs/op crossing cost, the\n\
+         same trade the paper describes for same-JVM vs separate-JVM execution."
+    );
+}

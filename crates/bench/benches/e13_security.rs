@@ -1,0 +1,143 @@
+//! E13 — security (§5.3): handshake cost vs delegation depth, and the
+//! authorization decision matrix (gridmap + time-window contracts).
+
+use infogram_bench::{banner, fmt_secs, table};
+use infogram_gsi::{
+    authenticate, Authorizer, CertificateAuthority, Contract, Credential, Dn, GridMap,
+    SubjectMatch, Window,
+};
+use infogram_sim::{SimTime, SplitMix64};
+use std::time::{Duration, Instant};
+
+fn handshake_cost() {
+    println!("\n-- mutual authentication cost vs proxy chain depth --");
+    let mut rng = SplitMix64::new(5150);
+    let ca = CertificateAuthority::new_root(
+        &Dn::user("Grid", "CA", "Root"),
+        &mut rng,
+        SimTime::ZERO,
+        Duration::from_secs(10 * 365 * 86_400),
+    );
+    let roots = [ca.certificate().clone()];
+    let server = ca.issue(
+        &Dn::user("Grid", "Hosts", "gk"),
+        &mut rng,
+        SimTime::ZERO,
+        Duration::from_secs(86_400),
+    );
+
+    let mut rows = Vec::new();
+    for depth in [0usize, 1, 2, 4, 8] {
+        let mut cred: Credential = ca.issue(
+            &Dn::user("Grid", "ANL", "DeepUser"),
+            &mut rng,
+            SimTime::ZERO,
+            Duration::from_secs(86_400),
+        );
+        for _ in 0..depth {
+            cred = cred
+                .delegate(&mut rng, SimTime::ZERO, Duration::from_secs(43_200), 16)
+                .expect("delegate");
+        }
+        const REPS: usize = 2_000;
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            authenticate(&cred, &server, &roots, SimTime::from_secs(1), &mut rng)
+                .expect("handshake");
+        }
+        let per = t0.elapsed().as_secs_f64() / REPS as f64;
+        rows.push(vec![
+            depth.to_string(),
+            (cred.chain.len()).to_string(),
+            fmt_secs(per),
+        ]);
+    }
+    table(&["proxy-depth", "chain-len", "handshake-cpu"], &rows);
+}
+
+fn authorization_matrix() {
+    println!("\n-- authorization decision matrix (gridmap + contracts) --");
+    let mut rng = SplitMix64::new(6510);
+    let ca = CertificateAuthority::new_root(
+        &Dn::user("Grid", "CA", "Root"),
+        &mut rng,
+        SimTime::ZERO,
+        Duration::from_secs(10 * 365 * 86_400),
+    );
+    let roots = [ca.certificate().clone()];
+    let server = ca.issue(
+        &Dn::user("Grid", "Hosts", "gk"),
+        &mut rng,
+        SimTime::ZERO,
+        Duration::from_secs(365 * 86_400),
+    );
+
+    let alice = Dn::user("Grid", "ANL", "Alice");
+    let mut gridmap = GridMap::new();
+    gridmap.add(alice.clone(), &["alice"]);
+    // The paper's example contract: 3–4 pm daily.
+    let authorizer = Authorizer::with_contracts(
+        gridmap,
+        vec![Contract::new(
+            SubjectMatch::Exact(alice.clone()),
+            "cluster",
+            vec![Window::daily_hours(15, 16)],
+        )],
+    );
+
+    let alice_cred = ca.issue(&alice, &mut rng, SimTime::ZERO, Duration::from_secs(365 * 86_400));
+    let mallory_cred = ca.issue(
+        &Dn::user("Grid", "ANL", "Mallory"),
+        &mut rng,
+        SimTime::ZERO,
+        Duration::from_secs(365 * 86_400),
+    );
+    // A day-long proxy is alive at 3pm; a one-hour proxy issued at
+    // midnight has long expired by then.
+    let day_proxy = alice_cred
+        .delegate(&mut rng, SimTime::ZERO, Duration::from_secs(86_400), 0)
+        .expect("proxy");
+    let short_proxy = alice_cred
+        .delegate(&mut rng, SimTime::ZERO, Duration::from_secs(3600), 0)
+        .expect("proxy");
+
+    let three_pm = SimTime::from_secs(15 * 3600 + 600);
+    let noon = SimTime::from_secs(12 * 3600);
+
+    let cases: Vec<(&str, &Credential, SimTime)> = vec![
+        ("alice @ 3pm (in window)", &alice_cred, three_pm),
+        ("alice @ noon (outside window)", &alice_cred, noon),
+        ("alice's 24h proxy @ 3pm", &day_proxy, three_pm),
+        ("alice's 1h proxy @ 3pm (expired)", &short_proxy, three_pm),
+        ("mallory (unmapped) @ 3pm", &mallory_cred, three_pm),
+    ];
+    let mut rows = Vec::new();
+    for (label, cred, when) in cases {
+        let auth = authenticate(cred, &server, &roots, when, &mut rng);
+        let verdict = match auth {
+            Err(e) => format!("DENY (authn: {e})"),
+            Ok((_c, sctx)) => match authorizer.authorize(&sctx.peer, "cluster", when) {
+                Ok(d) => format!("ALLOW as {}", d.local_account),
+                Err(e) => format!("DENY (authz: {e})"),
+            },
+        };
+        rows.push(vec![label.to_string(), verdict]);
+    }
+    table(&["case", "decision"], &rows);
+}
+
+fn main() {
+    banner(
+        "E13",
+        "GSI handshake + contract authorization (§5.3)",
+        "handshake cost grows linearly with chain length; the decision matrix \
+         matches the paper's 'allow access from 3 to 4 pm to user X' semantics exactly",
+    );
+    handshake_cost();
+    authorization_matrix();
+    println!(
+        "\nreading: chain verification is the dominant handshake cost and scales\n\
+         with delegation depth; authorization composes gridmap mapping (who are\n\
+         you locally) with contract windows (when may you use this resource)."
+    );
+}

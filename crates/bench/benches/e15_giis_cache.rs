@@ -1,0 +1,102 @@
+//! E15 (ablation) — the aggregate's caching function (§3): "To increase
+//! the scalability of a distributed information service, the MDS provides
+//! an information caching function that allows viewing and querying the
+//! information about a resource from a cache."
+//!
+//! A GIIS over M member GRISes, searched once per second of virtual time
+//! for two minutes; we sweep the aggregate's member cache TTL and report
+//! the pulls it performs versus the worst-case staleness it serves. The
+//! TTL=0 row is the ablation: no aggregate caching at all.
+
+use infogram_bench::{banner, fmt_secs, table};
+use infogram_mds::filter::Filter;
+use infogram_mds::giis::Giis;
+use infogram_mds::gris::Gris;
+use std::time::Duration;
+
+fn run(members: usize, cache_ttl: Duration) -> (u64, f64) {
+    use infogram_host::commands::{ChargeMode, CommandRegistry};
+    use infogram_host::machine::{HostConfig, SimulatedHost};
+    use infogram_info::config::ServiceConfig;
+    use infogram_info::service::InformationService;
+    use infogram_sim::metrics::MetricSet;
+    use infogram_sim::ManualClock;
+
+    // All members share one manual clock so the sweep is deterministic;
+    // each gets a distinct hostname so their GIIS subtrees are disjoint.
+    let clock = ManualClock::new();
+    let giis = Giis::new(clock.clone(), cache_ttl);
+    for i in 0..members {
+        let host = SimulatedHost::new(
+            HostConfig {
+                hostname: format!("member{i:02}.grid"),
+                seed: 300 + i as u64,
+                ..Default::default()
+            },
+            clock.clone(),
+        );
+        let registry = CommandRegistry::new(host, ChargeMode::None);
+        let info = InformationService::from_config(
+            &ServiceConfig::table1(),
+            registry,
+            clock.clone(),
+            MetricSet::new(),
+        );
+        giis.register(Gris::new(info));
+    }
+
+    let filter = Filter::parse("(kw=Memory)").expect("filter");
+    let queries = 120u64;
+    for _ in 0..queries {
+        let found = giis.search_all(&filter);
+        assert_eq!(found.len(), members);
+        clock.advance(Duration::from_secs(1));
+    }
+    let worst_staleness = cache_ttl.as_secs_f64();
+    (giis.pull_count(), worst_staleness)
+}
+
+fn main() {
+    banner(
+        "E15",
+        "GIIS aggregate caching ablation (§3)",
+        "pulls drop from one-per-member-per-query (no cache) to \
+         one-per-member-per-TTL; the price is up to TTL seconds of staleness",
+    );
+    let mut rows = Vec::new();
+    for members in [2usize, 8] {
+        for ttl_s in [0u64, 1, 10, 60] {
+            let (pulls, staleness) = run(members, Duration::from_secs(ttl_s));
+            let no_cache_pulls = members as u64 * 120;
+            rows.push(vec![
+                members.to_string(),
+                if ttl_s == 0 {
+                    "0 (no cache)".to_string()
+                } else {
+                    format!("{ttl_s}s")
+                },
+                pulls.to_string(),
+                no_cache_pulls.to_string(),
+                format!("{:.1}%", 100.0 * pulls as f64 / no_cache_pulls as f64),
+                fmt_secs(staleness),
+            ]);
+        }
+    }
+    table(
+        &[
+            "members",
+            "cache-TTL",
+            "pulls/120q",
+            "no-cache pulls",
+            "pull-ratio",
+            "max-staleness",
+        ],
+        &rows,
+    );
+    println!(
+        "\nreading: this is the scalability mechanism §3 credits MDS with, isolated:\n\
+         a 10 s aggregate cache cuts member traffic by ~10x at one query per second,\n\
+         and the cost is bounded staleness — the same freshness/load dial as E5, one\n\
+         level up the hierarchy."
+    );
+}

@@ -1,0 +1,247 @@
+//! The GRAM-protocol client.
+//!
+//! Connects, runs the GSI handshake, and then speaks the request/reply
+//! protocol. Asynchronous job events (registered with `callback=true` at
+//! submit) may arrive interleaved with replies; they are buffered and
+//! retrievable with [`GramClient::next_event`] / [`GramClient::wait_event`].
+
+use infogram_gsi::{
+    wire_client_finish, wire_client_hello, Certificate, Credential, SecurityContext,
+};
+use infogram_proto::handle::JobHandle;
+use infogram_proto::message::{JobStateCode, Reply, Request};
+use infogram_proto::transport::{Conn, ProtoError, Transport};
+use infogram_sim::clock::SharedClock;
+use infogram_sim::SplitMix64;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Why a client operation failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure.
+    Transport(ProtoError),
+    /// Authentication or authorization rejected.
+    Denied {
+        /// Protocol error code.
+        code: u32,
+        /// Explanation.
+        message: String,
+    },
+    /// The service answered with an error.
+    Server {
+        /// Protocol error code.
+        code: u32,
+        /// Explanation.
+        message: String,
+    },
+    /// Handshake or decode failure.
+    Protocol(String),
+    /// A wait exceeded its deadline.
+    Timeout,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+            ClientError::Denied { code, message } => {
+                write!(f, "denied (code {code}): {message}")
+            }
+            ClientError::Server { code, message } => {
+                write!(f, "server error (code {code}): {message}")
+            }
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Timeout => write!(f, "timed out"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Transport(e)
+    }
+}
+
+/// A connected, authenticated GRAM-protocol session.
+pub struct GramClient {
+    conn: Box<dyn Conn>,
+    context: SecurityContext,
+    clock: SharedClock,
+    events: VecDeque<(JobHandle, JobStateCode)>,
+    requests_sent: u64,
+}
+
+impl std::fmt::Debug for GramClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GramClient")
+            .field("peer", &self.context.peer.to_string())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GramClient {
+    /// Connect and authenticate.
+    pub fn connect(
+        transport: &dyn Transport,
+        addr: &str,
+        credential: &Credential,
+        trust_roots: &[Certificate],
+        clock: SharedClock,
+    ) -> Result<GramClient, ClientError> {
+        let conn = transport.connect(addr)?;
+        let now = clock.now();
+        let mut rng = SplitMix64::new(now.as_nanos() ^ 0x6772_616d); // "gram"
+        let (hello, nonce) = wire_client_hello(credential, &mut rng);
+        conn.send(&hello)?;
+        let resp = conn.recv()?;
+        // The server may answer the HELLO with a protocol-level error.
+        if let Ok(Reply::Error { code, message }) = Reply::decode(&resp) {
+            return Err(ClientError::Denied { code, message });
+        }
+        let (fin, context) = wire_client_finish(credential, trust_roots, &resp, nonce, now)
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        conn.send(&fin)?;
+        // Authorization ack: Pong, or Error for gridmap/contract denial.
+        let ack = conn.recv()?;
+        match Reply::decode(&ack) {
+            Ok(Reply::Pong) => {}
+            Ok(Reply::Error { code, message }) => {
+                return Err(ClientError::Denied { code, message })
+            }
+            Ok(other) => {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected authorization ack: {other:?}"
+                )))
+            }
+            Err(e) => return Err(ClientError::Protocol(e.to_string())),
+        }
+        Ok(GramClient {
+            conn,
+            context,
+            clock,
+            events: VecDeque::new(),
+            requests_sent: 0,
+        })
+    }
+
+    /// The authenticated service identity.
+    pub fn context(&self) -> &SecurityContext {
+        &self.context
+    }
+
+    /// Requests issued on this session.
+    pub fn requests_sent(&self) -> u64 {
+        self.requests_sent
+    }
+
+    /// Issue one request, buffering any events that arrive before the
+    /// reply.
+    pub fn request(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        self.conn.send(&request.encode())?;
+        self.requests_sent += 1;
+        loop {
+            let bytes = self.conn.recv()?;
+            match Reply::decode(&bytes) {
+                Ok(Reply::Event { handle, state }) => {
+                    self.events.push_back((handle, state));
+                }
+                Ok(reply) => return Ok(reply),
+                Err(e) => return Err(ClientError::Protocol(e.to_string())),
+            }
+        }
+    }
+
+    /// Submit an xRSL job; `callback=true` subscribes to events.
+    pub fn submit(&mut self, rsl: &str, callback: bool) -> Result<JobHandle, ClientError> {
+        match self.request(&Request::Submit {
+            rsl: rsl.to_string(),
+            callback,
+        })? {
+            Reply::JobAccepted { handle } => Ok(handle),
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Poll a job's status.
+    pub fn status(
+        &mut self,
+        handle: &JobHandle,
+    ) -> Result<(JobStateCode, Option<i32>, String), ClientError> {
+        match self.request(&Request::Status {
+            handle: handle.clone(),
+        })? {
+            Reply::JobStatus {
+                state,
+                exit_code,
+                output,
+                ..
+            } => Ok((state, exit_code, output)),
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Cancel a job.
+    pub fn cancel(&mut self, handle: &JobHandle) -> Result<(), ClientError> {
+        match self.request(&Request::Cancel {
+            handle: handle.clone(),
+        })? {
+            Reply::JobStatus { .. } => Ok(()),
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Reply::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Poll until the job reaches a terminal state or `deadline` passes.
+    pub fn wait_terminal(
+        &mut self,
+        handle: &JobHandle,
+        poll_every: Duration,
+        deadline: Duration,
+    ) -> Result<(JobStateCode, Option<i32>, String), ClientError> {
+        let start = self.clock.now();
+        loop {
+            let (state, exit, output) = self.status(handle)?;
+            if state.is_terminal() {
+                return Ok((state, exit, output));
+            }
+            if self.clock.now().since(start) > deadline {
+                return Err(ClientError::Timeout);
+            }
+            self.clock.sleep(poll_every);
+        }
+    }
+
+    /// Pop an already-buffered event, if any (non-blocking).
+    pub fn next_event(&mut self) -> Option<(JobHandle, JobStateCode)> {
+        self.events.pop_front()
+    }
+
+    /// Block until an event arrives (callback delivery, §2: "through
+    /// event notification to the client through the GRAM Service").
+    pub fn wait_event(&mut self) -> Result<(JobHandle, JobStateCode), ClientError> {
+        if let Some(ev) = self.events.pop_front() {
+            return Ok(ev);
+        }
+        let bytes = self.conn.recv()?;
+        match Reply::decode(&bytes) {
+            Ok(Reply::Event { handle, state }) => Ok((handle, state)),
+            Ok(other) => Err(ClientError::Protocol(format!(
+                "expected event, got {other:?}"
+            ))),
+            Err(e) => Err(ClientError::Protocol(e.to_string())),
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The unified InfoGram client.
+//!
+//! "Querying the information is handled by clients much as the execution
+//! of jobs" (§6.6): both travel as submits over the same authenticated
+//! connection. [`QueryBuilder`] assembles the xRSL extension tags.
+
+use crate::gram::{ClientError, GramClient};
+use infogram_gsi::{Certificate, Credential};
+use infogram_proto::handle::JobHandle;
+use infogram_proto::message::{JobStateCode, Reply, Request};
+use infogram_proto::record::InfoRecord;
+use infogram_proto::render::{dsml, ldif, xml};
+use infogram_proto::transport::Transport;
+use infogram_rsl::{OutputFormat, ResponseMode};
+use infogram_sim::clock::SharedClock;
+use std::time::Duration;
+
+/// Builder for information-query xRSL: the tags of §6.6.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBuilder {
+    selectors: Vec<String>,
+    response: Option<ResponseMode>,
+    quality: Option<f64>,
+    performance: bool,
+    format: Option<OutputFormat>,
+    filter: Option<String>,
+}
+
+impl QueryBuilder {
+    /// An empty query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one `(info=keyword)` selector.
+    pub fn keyword(mut self, kw: &str) -> Self {
+        self.selectors.push(kw.to_string());
+        self
+    }
+
+    /// `(info=all)`.
+    pub fn all(mut self) -> Self {
+        self.selectors.push("all".to_string());
+        self
+    }
+
+    /// `(info=schema)` — service reflection.
+    pub fn schema(mut self) -> Self {
+        self.selectors.push("schema".to_string());
+        self
+    }
+
+    /// `(response=immediate|cached|last)`.
+    pub fn response(mut self, mode: ResponseMode) -> Self {
+        self.response = Some(mode);
+        self
+    }
+
+    /// `(quality=N)` — percentage threshold.
+    pub fn quality(mut self, percent: f64) -> Self {
+        self.quality = Some(percent);
+        self
+    }
+
+    /// `(performance=true)`.
+    pub fn performance(mut self) -> Self {
+        self.performance = true;
+        self
+    }
+
+    /// `(format=ldif|xml|dsml|plain)`.
+    pub fn format(mut self, format: OutputFormat) -> Self {
+        self.format = Some(format);
+        self
+    }
+
+    /// `(filter=...)`.
+    pub fn filter(mut self, filter: &str) -> Self {
+        self.filter = Some(filter.to_string());
+        self
+    }
+
+    /// Render the xRSL text.
+    pub fn to_rsl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.selectors {
+            out.push_str(&format!("(info={s})"));
+        }
+        if let Some(mode) = self.response {
+            let m = match mode {
+                ResponseMode::Immediate => "immediate",
+                ResponseMode::Cached => "cached",
+                ResponseMode::Last => "last",
+            };
+            out.push_str(&format!("(response={m})"));
+        }
+        if let Some(q) = self.quality {
+            out.push_str(&format!("(quality={q})"));
+        }
+        if self.performance {
+            out.push_str("(performance=true)");
+        }
+        if let Some(f) = self.format {
+            out.push_str(&format!("(format={f})"));
+        }
+        if let Some(f) = &self.filter {
+            out.push_str(&format!("(filter={f})"));
+        }
+        out
+    }
+}
+
+/// The result of an information query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The raw rendered body as the service produced it.
+    pub body: String,
+    /// Parsed records (LDIF and XML parse back; plain stays raw).
+    pub records: Vec<InfoRecord>,
+    /// Record count as reported by the service.
+    pub record_count: u32,
+}
+
+/// One connection, both behaviours.
+pub struct InfoGramClient {
+    gram: GramClient,
+}
+
+impl std::fmt::Debug for InfoGramClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InfoGramClient").finish_non_exhaustive()
+    }
+}
+
+impl InfoGramClient {
+    /// Connect and authenticate to an InfoGram service.
+    pub fn connect(
+        transport: &dyn Transport,
+        addr: &str,
+        credential: &Credential,
+        trust_roots: &[Certificate],
+        clock: SharedClock,
+    ) -> Result<InfoGramClient, ClientError> {
+        Ok(InfoGramClient {
+            gram: GramClient::connect(transport, addr, credential, trust_roots, clock)?,
+        })
+    }
+
+    /// Submit a job.
+    pub fn submit(&mut self, rsl: &str, callback: bool) -> Result<JobHandle, ClientError> {
+        self.gram.submit(rsl, callback)
+    }
+
+    /// Poll a job.
+    pub fn status(
+        &mut self,
+        handle: &JobHandle,
+    ) -> Result<(JobStateCode, Option<i32>, String), ClientError> {
+        self.gram.status(handle)
+    }
+
+    /// Cancel a job.
+    pub fn cancel(&mut self, handle: &JobHandle) -> Result<(), ClientError> {
+        self.gram.cancel(handle)
+    }
+
+    /// Wait for a job to finish.
+    pub fn wait_terminal(
+        &mut self,
+        handle: &JobHandle,
+        poll_every: Duration,
+        deadline: Duration,
+    ) -> Result<(JobStateCode, Option<i32>, String), ClientError> {
+        self.gram.wait_terminal(handle, poll_every, deadline)
+    }
+
+    /// Pop a buffered event.
+    pub fn next_event(&mut self) -> Option<(JobHandle, JobStateCode)> {
+        self.gram.next_event()
+    }
+
+    /// Block for the next event.
+    pub fn wait_event(&mut self) -> Result<(JobHandle, JobStateCode), ClientError> {
+        self.gram.wait_event()
+    }
+
+    /// Issue a raw xRSL information query.
+    pub fn query_rsl(&mut self, rsl: &str) -> Result<QueryResult, ClientError> {
+        let format = detect_format(rsl);
+        match self.gram.request(&Request::Submit {
+            rsl: rsl.to_string(),
+            callback: false,
+        })? {
+            Reply::InfoResult { body, record_count } => {
+                let records = match format {
+                    OutputFormat::Ldif => ldif::parse(&body),
+                    OutputFormat::Xml => xml::parse(&body),
+                    OutputFormat::Dsml => dsml::parse(&body),
+                    OutputFormat::Plain => Vec::new(),
+                };
+                Ok(QueryResult {
+                    body,
+                    records,
+                    record_count,
+                })
+            }
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Issue a built query.
+    pub fn query(&mut self, builder: &QueryBuilder) -> Result<QueryResult, ClientError> {
+        self.query_rsl(&builder.to_rsl())
+    }
+
+    /// Convenience: fetch one keyword with defaults.
+    pub fn info(&mut self, keyword: &str) -> Result<QueryResult, ClientError> {
+        self.query(&QueryBuilder::new().keyword(keyword))
+    }
+
+    /// Requests issued on this session.
+    pub fn requests_sent(&self) -> u64 {
+        self.gram.requests_sent()
+    }
+
+    /// The underlying GRAM session (for protocol-level tests).
+    pub fn gram(&mut self) -> &mut GramClient {
+        &mut self.gram
+    }
+}
+
+/// The client knows which format it asked for; mirror the service-side
+/// default (LDIF).
+fn detect_format(rsl: &str) -> OutputFormat {
+    if rsl.contains("(format=xml)") {
+        OutputFormat::Xml
+    } else if rsl.contains("(format=dsml)") {
+        OutputFormat::Dsml
+    } else if rsl.contains("(format=plain)") {
+        OutputFormat::Plain
+    } else {
+        OutputFormat::Ldif
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_builder_renders_tags() {
+        let rsl = QueryBuilder::new()
+            .keyword("memory")
+            .keyword("cpu")
+            .response(ResponseMode::Immediate)
+            .quality(75.0)
+            .performance()
+            .format(OutputFormat::Xml)
+            .filter("Memory:free")
+            .to_rsl();
+        assert_eq!(
+            rsl,
+            "(info=memory)(info=cpu)(response=immediate)(quality=75)\
+             (performance=true)(format=xml)(filter=Memory:free)"
+        );
+        // And it parses as valid xRSL.
+        let req = infogram_rsl::XrslRequest::from_text(&rsl).unwrap();
+        assert_eq!(req.info.len(), 2);
+        assert_eq!(req.quality, Some(75.0));
+        assert!(req.performance);
+    }
+
+    #[test]
+    fn builder_defaults_are_empty() {
+        assert_eq!(QueryBuilder::new().keyword("cpu").to_rsl(), "(info=cpu)");
+    }
+
+    #[test]
+    fn format_detection() {
+        assert_eq!(detect_format("(info=x)"), OutputFormat::Ldif);
+        assert_eq!(detect_format("(info=x)(format=xml)"), OutputFormat::Xml);
+        assert_eq!(detect_format("(info=x)(format=plain)"), OutputFormat::Plain);
+        assert_eq!(detect_format("(info=x)(format=dsml)"), OutputFormat::Dsml);
+    }
+}

@@ -1,0 +1,64 @@
+//! Grid accounting report.
+//!
+//! §6: "We intend to use this logging service to provide simple Grid
+//! accounting." The raw summary lives in `infogram_exec::wal`; this
+//! module adds the human-readable report the examples print.
+
+use infogram_exec::wal::AccountUsage;
+use std::collections::BTreeMap;
+
+/// Render an accounting summary as an aligned text table.
+pub fn render_report(summary: &BTreeMap<String, AccountUsage>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>9} {:>10} {:>7} {:>12} {:>12}\n",
+        "account", "submitted", "completed", "failed", "wall-seconds", "info-queries"
+    ));
+    for (account, usage) in summary {
+        out.push_str(&format!(
+            "{:<16} {:>9} {:>10} {:>7} {:>12.3} {:>12}\n",
+            account,
+            usage.submitted,
+            usage.completed,
+            usage.failed,
+            usage.wall_seconds,
+            usage.info_queries
+        ));
+    }
+    if summary.is_empty() {
+        out.push_str("(no jobs logged)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rows_per_account() {
+        let mut summary = BTreeMap::new();
+        summary.insert(
+            "gregor".to_string(),
+            AccountUsage {
+                submitted: 3,
+                completed: 2,
+                failed: 1,
+                wall_seconds: 12.5,
+                info_queries: 7,
+            },
+        );
+        let report = render_report(&summary);
+        assert!(report.contains("account"));
+        assert!(report.contains("gregor"));
+        assert!(report.contains("12.500"));
+        assert!(report.contains("info-queries"));
+        assert_eq!(report.lines().count(), 2);
+    }
+
+    #[test]
+    fn empty_report() {
+        let report = render_report(&BTreeMap::new());
+        assert!(report.contains("no jobs logged"));
+    }
+}

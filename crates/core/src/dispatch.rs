@@ -1,0 +1,305 @@
+//! The unified dispatcher: one protocol, two behaviours.
+//!
+//! §6.6: "At the protocol level we have replaced an LDAP search query
+//! with a query cast as a simple job submission through RSL." A submit
+//! whose xRSL carries `(info=...)` is answered with rendered information
+//! records; one carrying `(executable=...)` is a job submission; a
+//! specification with both is rejected as ambiguous.
+
+use infogram_exec::gram::{dispatch_job_request, RequestDispatcher};
+use infogram_exec::JobEngine;
+use infogram_info::service::{InfoServiceError, InformationService, QueryOptions};
+use infogram_info::QueryError;
+use infogram_proto::message::{codes, Reply, Request};
+use infogram_proto::render;
+use infogram_rsl::{RequestKind, XrslRequest};
+use std::sync::Arc;
+
+/// The InfoGram request dispatcher.
+pub struct InfoGramDispatcher {
+    engine: Arc<JobEngine>,
+    info: Arc<InformationService>,
+}
+
+impl InfoGramDispatcher {
+    /// Wire a job engine and an information service together.
+    pub fn new(engine: Arc<JobEngine>, info: Arc<InformationService>) -> Arc<Self> {
+        Arc::new(InfoGramDispatcher { engine, info })
+    }
+
+    /// Answer an information query.
+    fn dispatch_info(&self, owner: &str, account: &str, req: &XrslRequest) -> Reply {
+        let keywords = req
+            .info
+            .iter()
+            .map(|s| match s {
+                infogram_rsl::InfoSelector::All => "all".to_string(),
+                infogram_rsl::InfoSelector::Schema => "schema".to_string(),
+                infogram_rsl::InfoSelector::Keyword(k) => k.clone(),
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        self.engine.log_info_query(owner, account, &keywords);
+        let opts = QueryOptions {
+            mode: req.response,
+            quality_threshold: req.quality,
+            filter: req.filter.clone(),
+            performance: req.performance,
+        };
+        match self.info.answer(&req.info, &opts) {
+            Ok(records) => Reply::InfoResult {
+                body: render::render(&records, req.format),
+                record_count: records.len() as u32,
+            },
+            Err(InfoServiceError::UnknownKeyword(k)) => Reply::Error {
+                code: codes::NO_SUCH_KEYWORD,
+                message: format!("no information provider for keyword '{k}'"),
+            },
+            Err(InfoServiceError::Query(QueryError::NeverProduced)) => Reply::Error {
+                code: codes::NO_SUCH_KEYWORD,
+                message: "(response=last) before any value was produced".to_string(),
+            },
+            Err(InfoServiceError::Query(e)) => Reply::Error {
+                code: codes::INTERNAL,
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
+impl RequestDispatcher for InfoGramDispatcher {
+    fn dispatch(
+        &self,
+        owner: &str,
+        account: &str,
+        request: Request,
+        subscribe: &mut dyn FnMut(u64),
+    ) -> Reply {
+        // Jobs, status, cancel, ping: identical to GRAM.
+        if let Some(reply) =
+            dispatch_job_request(&self.engine, owner, account, &request, subscribe)
+        {
+            return reply;
+        }
+        // What remains is a Submit that is an info query (or empty).
+        let Request::Submit { rsl, .. } = &request else {
+            unreachable!("dispatch_job_request answers everything but info submits");
+        };
+        let req = match XrslRequest::from_text(rsl) {
+            Ok(r) => r,
+            Err(e) => {
+                return Reply::Error {
+                    code: codes::BAD_RSL,
+                    message: e.to_string(),
+                }
+            }
+        };
+        match req.kind() {
+            RequestKind::Info => self.dispatch_info(owner, account, &req),
+            RequestKind::Empty => Reply::Error {
+                code: codes::BAD_RSL,
+                message: "specification has neither (executable=) nor (info=)".to_string(),
+            },
+            // Job/Both were already answered by dispatch_job_request.
+            _ => unreachable!("job kinds handled earlier"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infogram_exec::backend::ForkBackend;
+    use infogram_exec::engine::EngineConfig;
+    use infogram_exec::Wal;
+    use infogram_host::commands::{ChargeMode, CommandRegistry};
+    use infogram_host::machine::SimulatedHost;
+    use infogram_info::config::ServiceConfig;
+    use infogram_proto::message::JobStateCode;
+    use infogram_sim::metrics::MetricSet;
+    use infogram_sim::ManualClock;
+    use std::time::Duration;
+
+    fn world() -> (Arc<ManualClock>, Arc<InfoGramDispatcher>) {
+        let clock = ManualClock::new();
+        let host = SimulatedHost::default_on(clock.clone());
+        let registry = CommandRegistry::new(host, ChargeMode::None);
+        let info = InformationService::from_config(
+            &ServiceConfig::table1(),
+            Arc::clone(&registry),
+            clock.clone(),
+            MetricSet::new(),
+        );
+        let engine = JobEngine::new(
+            EngineConfig::default(),
+            clock.clone(),
+            Wal::in_memory(),
+            ForkBackend::new(registry),
+            MetricSet::new(),
+        );
+        (clock.clone(), InfoGramDispatcher::new(engine, info))
+    }
+
+    fn submit(rsl: &str) -> Request {
+        Request::Submit {
+            rsl: rsl.to_string(),
+            callback: false,
+        }
+    }
+
+    fn dispatch(d: &InfoGramDispatcher, req: Request) -> Reply {
+        d.dispatch("/O=Grid/CN=T", "t", req, &mut |_| {})
+    }
+
+    #[test]
+    fn info_query_returns_ldif() {
+        let (_c, d) = world();
+        let reply = dispatch(&d, submit("(info=memory)"));
+        match reply {
+            Reply::InfoResult { body, record_count } => {
+                assert_eq!(record_count, 1);
+                assert!(body.contains("Memory-total:"));
+                assert!(body.starts_with("dn: kw=Memory"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_concatenated_query() {
+        // §6.6: "(info=memory)(info=cpu)"
+        let (_c, d) = world();
+        match dispatch(&d, submit("(info=memory)(info=cpu)")) {
+            Reply::InfoResult { record_count, body } => {
+                assert_eq!(record_count, 2);
+                assert!(body.contains("kw=Memory"));
+                assert!(body.contains("kw=CPU"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn xml_format_tag() {
+        let (_c, d) = world();
+        match dispatch(&d, submit("(info=cpu)(format=xml)")) {
+            Reply::InfoResult { body, .. } => {
+                assert!(body.starts_with("<infogram>"));
+                assert!(body.contains("CPU:count"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn schema_reflection() {
+        let (_c, d) = world();
+        match dispatch(&d, submit("(info=schema)")) {
+            Reply::InfoResult { record_count, body } => {
+                assert_eq!(record_count, 5);
+                assert!(body.contains("Schema.CPULoad"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn job_submission_still_works() {
+        let (clock, d) = world();
+        let reply = dispatch(&d, submit("(executable=simwork)(arguments=100)"));
+        let handle = match reply {
+            Reply::JobAccepted { handle } => handle,
+            other => panic!("{other:?}"),
+        };
+        clock.advance(Duration::from_millis(100));
+        match dispatch(&d, Request::Status { handle }) {
+            Reply::JobStatus { state, .. } => assert_eq!(state, JobStateCode::Done),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ambiguous_request_rejected() {
+        let (_c, d) = world();
+        match dispatch(&d, submit("&(executable=/bin/ls)(info=cpu)")) {
+            Reply::Error { code, .. } => assert_eq!(code, codes::AMBIGUOUS_REQUEST),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_request_rejected() {
+        let (_c, d) = world();
+        match dispatch(&d, submit("(format=xml)")) {
+            Reply::Error { code, .. } => assert_eq!(code, codes::BAD_RSL),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_keyword_error_code() {
+        let (_c, d) = world();
+        match dispatch(&d, submit("(info=Bogus)")) {
+            Reply::Error { code, message } => {
+                assert_eq!(code, codes::NO_SUCH_KEYWORD);
+                assert!(message.contains("Bogus"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_last_before_production() {
+        let (_c, d) = world();
+        match dispatch(&d, submit("(info=cpu)(response=last)")) {
+            Reply::Error { code, .. } => assert_eq!(code, codes::NO_SUCH_KEYWORD),
+            other => panic!("{other:?}"),
+        }
+        // After a cached read, `last` works.
+        dispatch(&d, submit("(info=cpu)"));
+        match dispatch(&d, submit("(info=cpu)(response=last)")) {
+            Reply::InfoResult { record_count, .. } => assert_eq!(record_count, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn performance_tag_round_trips() {
+        let (_c, d) = world();
+        dispatch(&d, submit("(info=list)"));
+        match dispatch(&d, submit("(info=list)(performance=true)")) {
+            Reply::InfoResult { body, .. } => {
+                assert!(body.contains("list-perf.mean_seconds"));
+                assert!(body.contains("list-perf.std_seconds"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_tag_narrows_result() {
+        let (_c, d) = world();
+        match dispatch(&d, submit("(info=memory)(filter=Memory:free)(format=plain)")) {
+            Reply::InfoResult { body, .. } => {
+                assert!(body.contains("Memory:free"));
+                assert!(!body.contains("Memory:total"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_rsl_rejected() {
+        let (_c, d) = world();
+        match dispatch(&d, submit("((((")) {
+            Reply::Error { code, .. } => assert_eq!(code, codes::BAD_RSL),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ping_answered() {
+        let (_c, d) = world();
+        assert_eq!(dispatch(&d, Request::Ping), Reply::Pong);
+    }
+}

@@ -1,0 +1,71 @@
+//! MDS backwards compatibility.
+//!
+//! §6.6: "this information service can easily be integrated into the
+//! Globus MDS information service architecture" — and §11: "we provide
+//! the possibility of being protocol compatible to the Globus Toolkit,
+//! while being able to integrate our information provider in the existent
+//! MDS."
+//!
+//! The bridge publishes an InfoGram service's information through a GRIS
+//! (optionally registered into a GIIS), so legacy LDAP-speaking clients
+//! see exactly the attributes InfoGram serves natively — the "gradual
+//! transition" path.
+
+use crate::service::InfoGramService;
+use infogram_mds::giis::Giis;
+use infogram_mds::gris::Gris;
+use std::sync::Arc;
+
+/// Expose an InfoGram service's information half as a GRIS.
+pub fn as_gris(service: &InfoGramService) -> Arc<Gris> {
+    Gris::new(Arc::clone(service.info_service()))
+}
+
+/// Register an InfoGram service into a GIIS aggregate; returns the GRIS
+/// that now represents it there.
+pub fn register_into(service: &InfoGramService, giis: &Giis) -> Arc<Gris> {
+    let gris = as_gris(service);
+    giis.register(Arc::clone(&gris));
+    gris
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::tests_support::start_default_service;
+    use infogram_mds::filter::Filter;
+    use infogram_sim::SystemClock;
+    use std::time::Duration;
+
+    #[test]
+    fn gris_sees_infogram_attributes() {
+        let world = start_default_service("bridge-host.grid:0");
+        let gris = as_gris(&world.service);
+        let entries = gris.search_all(&Filter::parse("(kw=Memory)").unwrap());
+        assert_eq!(entries.len(), 1);
+        // The MDS view carries the same value the native path serves.
+        let mds_total = entries[0].first("Memory-total").unwrap();
+        let native = world
+            .service
+            .info_service()
+            .answer(
+                &[infogram_rsl::InfoSelector::Keyword("Memory".to_string())],
+                &Default::default(),
+            )
+            .unwrap();
+        let native_total = native[0].get("Memory:total").unwrap().value.clone();
+        assert_eq!(mds_total, native_total);
+        world.service.shutdown();
+    }
+
+    #[test]
+    fn giis_registration() {
+        let world = start_default_service("bridge-host2.grid:0");
+        let giis = Giis::new(SystemClock::shared(), Duration::from_secs(30));
+        register_into(&world.service, &giis);
+        assert_eq!(giis.member_count(), 1);
+        let found = giis.search_all(&Filter::parse("(objectclass=GridResource)").unwrap());
+        assert_eq!(found.len(), 1);
+        world.service.shutdown();
+    }
+}

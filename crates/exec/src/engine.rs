@@ -1,0 +1,908 @@
+//! The job engine: job table + per-job lifecycle management.
+//!
+//! This is the "job manager" tier of J-GRAM (§2, §7): each submitted job
+//! gets an entry that tracks its backend, drives its state machine on
+//! every observation, enforces `maxtime` and the xRSL `timeout`/`action`
+//! extension (§6.6), performs the automatic restart-on-failure of §6.1,
+//! writes every transition to the logging service (§6), and notifies
+//! registered watchers (the client event callbacks of §2).
+
+use crate::backend::{BackendError, BackendJobRef, BackendStatus, ExecBackend};
+use crate::wal::{RecoveredState, Wal, WalEvent};
+use infogram_proto::handle::JobHandle;
+use infogram_proto::message::JobStateCode;
+use infogram_rsl::{JobRequest, JobType, TimeoutAction, XrslRequest};
+use infogram_sim::clock::SharedClock;
+use infogram_sim::metrics::MetricSet;
+use infogram_host::machine::SimulatedHost;
+use infogram_sim::SimTime;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Engine identity: where handles point and which resource name contracts
+/// are checked against.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Resource name used in authorization contracts.
+    pub service_name: String,
+    /// Host part of issued job handles.
+    pub hostname: String,
+    /// Port part of issued job handles.
+    pub port: u16,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            service_name: "jgram".to_string(),
+            hostname: "localhost".to_string(),
+            port: 2119,
+        }
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Backend refused the job.
+    Backend(BackendError),
+    /// `(queue=X)` names no configured queue.
+    UnknownQueue(String),
+    /// Batch job without a queue and no default queue configured.
+    NoQueueConfigured,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Backend(e) => write!(f, "{e}"),
+            SubmitError::UnknownQueue(q) => write!(f, "unknown queue '{q}'"),
+            SubmitError::NoQueueConfigured => write!(f, "no batch queue configured"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A point-in-time view of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatusView {
+    /// Current state.
+    pub state: JobStateCode,
+    /// Exit code once terminal.
+    pub exit_code: Option<i32>,
+    /// Captured output once terminal (empty before).
+    pub output: String,
+    /// Whether a `(timeout=...)(action=exception)` deadline has passed
+    /// while the job kept running.
+    pub timeout_exceeded: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BackendKind {
+    Fork,
+    Jarlet,
+    Queue,
+}
+
+struct JobEntry {
+    spec: JobRequest,
+    rsl_text: String,
+    owner: String,
+    account: String,
+    kind: BackendKind,
+    queue_name: Option<String>,
+    job_ref: BackendJobRef,
+    output: String,
+    state: JobStateCode,
+    exit_code: Option<i32>,
+    submitted_at: SimTime,
+    retries_left: u32,
+    timeout_exceeded: bool,
+}
+
+type Watcher = Box<dyn Fn(JobHandle, JobStateCode) + Send + Sync>;
+
+/// `(kind, queue name, backend)` as resolved for one submission.
+type ResolvedBackend = (BackendKind, Option<String>, Arc<dyn ExecBackend>);
+
+/// Identifier of a registered watcher (for removal at connection end).
+pub type WatcherId = u64;
+
+/// The J-GRAM job engine.
+pub struct JobEngine {
+    config: EngineConfig,
+    clock: SharedClock,
+    epoch: u64,
+    next_job_id: AtomicU64,
+    wal: Wal,
+    fork: Arc<dyn ExecBackend>,
+    jarlet: Option<Arc<dyn ExecBackend>>,
+    queues: RwLock<HashMap<String, Arc<dyn ExecBackend>>>,
+    default_queue: RwLock<Option<String>>,
+    jobs: Mutex<HashMap<u64, JobEntry>>,
+    watchers: Mutex<HashMap<WatcherId, Watcher>>,
+    next_watcher_id: AtomicU64,
+    /// Host whose filesystem receives `(stdout=...)`/`(stderr=...)`
+    /// redirections, when configured.
+    stdio_host: RwLock<Option<Arc<SimulatedHost>>>,
+    metrics: MetricSet,
+}
+
+impl std::fmt::Debug for JobEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobEngine")
+            .field("epoch", &self.epoch)
+            .field("service", &self.config.service_name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobEngine {
+    /// A fresh engine (epoch derived from any existing log content + 1,
+    /// so a file-backed WAL naturally continues its epoch sequence).
+    pub fn new(
+        config: EngineConfig,
+        clock: SharedClock,
+        wal: Wal,
+        fork: Arc<dyn ExecBackend>,
+        metrics: MetricSet,
+    ) -> Arc<Self> {
+        let recovered = RecoveredState::from_events(&wal.events());
+        let epoch = recovered.last_epoch + 1;
+        wal.record(&WalEvent::ServiceStarted { epoch });
+        Arc::new(JobEngine {
+            config,
+            clock,
+            epoch,
+            next_job_id: AtomicU64::new(recovered.last_job_id + 1),
+            wal,
+            fork,
+            jarlet: None,
+            queues: RwLock::new(HashMap::new()),
+            default_queue: RwLock::new(None),
+            jobs: Mutex::new(HashMap::new()),
+            watchers: Mutex::new(HashMap::new()),
+            next_watcher_id: AtomicU64::new(1),
+            stdio_host: RwLock::new(None),
+            metrics,
+        })
+    }
+
+    /// Attach the sandboxed jarlet backend. Must be called before the
+    /// engine is shared across threads.
+    pub fn with_jarlet(self: Arc<Self>, backend: Arc<dyn ExecBackend>) -> Arc<Self> {
+        let mut inner = Arc::try_unwrap(self).expect("with_jarlet must be called before the engine is shared");
+        inner.jarlet = Some(backend);
+        Arc::new(inner)
+    }
+
+    /// Enable `(stdout=path)` / `(stderr=path)` redirection onto this
+    /// host's filesystem — §7: "It is possible to redirect I/O to and
+    /// from the client."
+    pub fn set_stdio_host(&self, host: Arc<SimulatedHost>) {
+        *self.stdio_host.write() = Some(host);
+    }
+
+    /// Register a named batch queue backend. The first registered queue
+    /// becomes the default for `(jobtype=batch)` without `(queue=...)`.
+    pub fn add_queue(&self, name: &str, backend: Arc<dyn ExecBackend>) {
+        self.queues.write().insert(name.to_string(), backend);
+        let mut default = self.default_queue.write();
+        if default.is_none() {
+            *default = Some(name.to_string());
+        }
+    }
+
+    /// The engine's restart generation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Engine identity.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The engine's metric sink.
+    pub fn metrics(&self) -> &MetricSet {
+        &self.metrics
+    }
+
+    /// Register a watcher invoked on every job state change. Returns an
+    /// id for [`JobEngine::remove_watcher`].
+    pub fn on_state_change(
+        &self,
+        watcher: impl Fn(JobHandle, JobStateCode) + Send + Sync + 'static,
+    ) -> WatcherId {
+        let id = self.next_watcher_id.fetch_add(1, Ordering::Relaxed);
+        self.watchers.lock().insert(id, Box::new(watcher));
+        id
+    }
+
+    /// Remove a watcher (idempotent).
+    pub fn remove_watcher(&self, id: WatcherId) {
+        self.watchers.lock().remove(&id);
+    }
+
+    /// The WAL events recorded so far (accounting, tests).
+    pub fn wal_events(&self) -> Vec<WalEvent> {
+        self.wal.events()
+    }
+
+    /// Log an authenticated information query (§7): grist for the simple
+    /// grid accounting and for "intelligent scheduling services".
+    pub fn log_info_query(&self, owner: &str, account: &str, keywords: &str) {
+        self.wal.record(&WalEvent::InfoQueried {
+            owner: owner.to_string(),
+            account: account.to_string(),
+            keywords: keywords.to_string(),
+        });
+        self.metrics.counter("info.queries_logged").incr();
+    }
+
+    fn handle_for(&self, job_id: u64) -> JobHandle {
+        JobHandle::new(&self.config.hostname, self.config.port, job_id, self.epoch)
+    }
+
+    fn backend_for(&self, spec: &JobRequest) -> Result<ResolvedBackend, SubmitError> {
+        match spec.job_type {
+            JobType::Fork => Ok((BackendKind::Fork, None, Arc::clone(&self.fork))),
+            JobType::Jarlet => match &self.jarlet {
+                Some(b) => Ok((BackendKind::Jarlet, None, Arc::clone(b))),
+                None => Err(SubmitError::Backend(BackendError::Other(
+                    "no jarlet backend configured".to_string(),
+                ))),
+            },
+            JobType::Batch => {
+                let queues = self.queues.read();
+                let name = match &spec.queue {
+                    Some(q) => q.clone(),
+                    None => self
+                        .default_queue
+                        .read()
+                        .clone()
+                        .ok_or(SubmitError::NoQueueConfigured)?,
+                };
+                let backend = queues
+                    .get(&name)
+                    .cloned()
+                    .ok_or_else(|| SubmitError::UnknownQueue(name.clone()))?;
+                Ok((BackendKind::Queue, Some(name), backend))
+            }
+        }
+    }
+
+    /// Submit a job. `rsl_text` is logged verbatim ("the command used and
+    /// arguments"); `owner`/`account` come from the gatekeeper's
+    /// authorization decision.
+    pub fn submit(
+        &self,
+        rsl_text: &str,
+        spec: JobRequest,
+        owner: &str,
+        account: &str,
+    ) -> Result<JobHandle, SubmitError> {
+        let (kind, queue_name, backend) = self.backend_for(&spec)?;
+        let (job_ref, output) = backend
+            .submit(&spec, account)
+            .map_err(SubmitError::Backend)?;
+        let job_id = self.next_job_id.fetch_add(1, Ordering::SeqCst);
+        let now = self.clock.now();
+        self.wal.record(&WalEvent::Submitted {
+            job_id,
+            rsl: rsl_text.to_string(),
+            owner: owner.to_string(),
+            account: account.to_string(),
+        });
+        let initial_state = match backend.poll(&job_ref) {
+            BackendStatus::Pending => JobStateCode::Pending,
+            _ => JobStateCode::Active,
+        };
+        self.wal.record(&WalEvent::StateChanged {
+            job_id,
+            state: initial_state,
+        });
+        let retries_left = spec.restart_on_fail;
+        self.jobs.lock().insert(
+            job_id,
+            JobEntry {
+                spec,
+                rsl_text: rsl_text.to_string(),
+                owner: owner.to_string(),
+                account: account.to_string(),
+                kind,
+                queue_name,
+                job_ref,
+                output,
+                state: initial_state,
+                exit_code: None,
+                submitted_at: now,
+                retries_left,
+                timeout_exceeded: false,
+            },
+        );
+        self.metrics.counter("jobs.submitted").incr();
+        let handle = self.handle_for(job_id);
+        self.notify(&handle, initial_state);
+        Ok(handle)
+    }
+
+    fn notify(&self, handle: &JobHandle, state: JobStateCode) {
+        for w in self.watchers.lock().values() {
+            w(handle.clone(), state);
+        }
+    }
+
+    fn backend_of(&self, entry: &JobEntry) -> Arc<dyn ExecBackend> {
+        match entry.kind {
+            BackendKind::Fork => Arc::clone(&self.fork),
+            BackendKind::Jarlet => Arc::clone(self.jarlet.as_ref().expect("jarlet set")),
+            BackendKind::Queue => {
+                let name = entry.queue_name.as_deref().expect("queue name set");
+                Arc::clone(&self.queues.read()[name])
+            }
+        }
+    }
+
+    /// Drive one job's state machine from the backend's current status.
+    /// Returns the (possibly new) state.
+    fn refresh(&self, job_id: u64, entry: &mut JobEntry) -> JobStateCode {
+        if entry.state.is_terminal() {
+            return entry.state;
+        }
+        let now = self.clock.now();
+        let backend = self.backend_of(entry);
+
+        // Deadlines: GRAM `maxtime` kills (→ Failed); the xRSL extension
+        // `(timeout=...)` either cancels or raises while continuing.
+        let elapsed = now.since(entry.submitted_at);
+        if let Some(max_time) = entry.spec.max_time {
+            if elapsed > max_time {
+                backend.cancel(&entry.job_ref);
+                self.finish(job_id, entry, JobStateCode::Failed, None, now);
+                self.metrics.counter("jobs.maxtime_kills").incr();
+                return entry.state;
+            }
+        }
+        if let Some(timeout) = entry.spec.timeout {
+            if elapsed > timeout {
+                match entry.spec.timeout_action {
+                    TimeoutAction::Cancel => {
+                        backend.cancel(&entry.job_ref);
+                        self.finish(job_id, entry, JobStateCode::Canceled, None, now);
+                        self.metrics.counter("jobs.timeout_cancels").incr();
+                        return entry.state;
+                    }
+                    TimeoutAction::Exception => {
+                        if !entry.timeout_exceeded {
+                            entry.timeout_exceeded = true;
+                            self.metrics.counter("jobs.timeout_exceptions").incr();
+                        }
+                        // "the execution of the command itself would be
+                        // continuing" — fall through to normal polling.
+                    }
+                }
+            }
+        }
+
+        let status = backend.poll(&entry.job_ref);
+        let new_state = match status {
+            BackendStatus::Pending => JobStateCode::Pending,
+            BackendStatus::Active => JobStateCode::Active,
+            BackendStatus::Canceled => JobStateCode::Canceled,
+            BackendStatus::Finished { exit_code } => {
+                if exit_code == 0 {
+                    JobStateCode::Done
+                } else if entry.retries_left > 0 {
+                    // §6.1: "a fault tolerance mechanism that allows to
+                    // restart a job upon failure".
+                    entry.retries_left -= 1;
+                    self.metrics.counter("jobs.restarts").incr();
+                    match backend.submit(&entry.spec, &entry.account) {
+                        Ok((job_ref, output)) => {
+                            entry.job_ref = job_ref;
+                            entry.output = output;
+                            entry.submitted_at = now;
+                            JobStateCode::Pending
+                        }
+                        Err(_) => JobStateCode::Failed,
+                    }
+                } else {
+                    JobStateCode::Failed
+                }
+            }
+        };
+        if new_state != entry.state {
+            entry.state = new_state;
+            if new_state.is_terminal() {
+                let exit_code = match status {
+                    BackendStatus::Finished { exit_code } => Some(exit_code),
+                    _ => None,
+                };
+                self.finish(job_id, entry, new_state, exit_code, now);
+            } else {
+                self.wal.record(&WalEvent::StateChanged {
+                    job_id,
+                    state: new_state,
+                });
+                self.notify(&self.handle_for(job_id), new_state);
+            }
+        }
+        entry.state
+    }
+
+    fn finish(
+        &self,
+        job_id: u64,
+        entry: &mut JobEntry,
+        state: JobStateCode,
+        exit_code: Option<i32>,
+        now: SimTime,
+    ) {
+        entry.state = state;
+        entry.exit_code = exit_code;
+        // Stdout/stderr redirection onto the service-side filesystem.
+        if let Some(host) = self.stdio_host.read().as_ref() {
+            if let Some(path) = &entry.spec.stdout {
+                host.fs.write(path, entry.output.clone());
+            }
+            if let Some(path) = &entry.spec.stderr {
+                let stderr_body = if state == JobStateCode::Done {
+                    String::new()
+                } else {
+                    format!("job ended in state {state} (exit {exit_code:?})\n")
+                };
+                host.fs.write(path, stderr_body);
+            }
+        }
+        self.wal.record(&WalEvent::Finished {
+            job_id,
+            state,
+            exit_code,
+            wall_seconds: now.since(entry.submitted_at).as_secs_f64(),
+        });
+        self.metrics
+            .counter(match state {
+                JobStateCode::Done => "jobs.done",
+                JobStateCode::Canceled => "jobs.canceled",
+                _ => "jobs.failed",
+            })
+            .incr();
+        self.notify(&self.handle_for(job_id), state);
+    }
+
+    /// Current status of a job; `None` for unknown ids.
+    pub fn status(&self, job_id: u64) -> Option<JobStatusView> {
+        let mut jobs = self.jobs.lock();
+        let entry = jobs.get_mut(&job_id)?;
+        self.refresh(job_id, entry);
+        Some(JobStatusView {
+            state: entry.state,
+            exit_code: entry.exit_code,
+            output: if entry.state.is_terminal() {
+                entry.output.clone()
+            } else {
+                String::new()
+            },
+            timeout_exceeded: entry.timeout_exceeded,
+        })
+    }
+
+    /// Cancel a job; false for unknown or already-terminal jobs.
+    pub fn cancel(&self, job_id: u64) -> bool {
+        let mut jobs = self.jobs.lock();
+        let Some(entry) = jobs.get_mut(&job_id) else {
+            return false;
+        };
+        self.refresh(job_id, entry);
+        if entry.state.is_terminal() {
+            return false;
+        }
+        let backend = self.backend_of(entry);
+        backend.cancel(&entry.job_ref);
+        let now = self.clock.now();
+        self.finish(job_id, entry, JobStateCode::Canceled, None, now);
+        true
+    }
+
+    /// All known job ids.
+    pub fn job_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.jobs.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The xRSL a job was submitted with.
+    pub fn job_rsl(&self, job_id: u64) -> Option<String> {
+        self.jobs.lock().get(&job_id).map(|e| e.rsl_text.clone())
+    }
+
+    /// Owner and account of a job (for authorization of status/cancel by
+    /// other clients).
+    pub fn job_owner(&self, job_id: u64) -> Option<(String, String)> {
+        self.jobs
+            .lock()
+            .get(&job_id)
+            .map(|e| (e.owner.clone(), e.account.clone()))
+    }
+
+    /// Recover from the WAL: jobs that were in flight when the previous
+    /// incarnation died are resubmitted ("the log can be used to restart
+    /// our InfoGRAM service"), finished jobs are reinstalled as terminal
+    /// records. Returns the ids of restarted jobs.
+    pub fn recover(&self) -> Vec<u64> {
+        let recovered = RecoveredState::from_events(&self.wal.events());
+        let mut restarted = Vec::new();
+        for job in &recovered.jobs {
+            if self.jobs.lock().contains_key(&job.job_id) {
+                continue; // submitted in this incarnation
+            }
+            match &job.finished {
+                Some((state, exit_code)) => {
+                    // Terminal before the crash: reinstall the record
+                    // (output was not checkpointed — the paper logs only
+                    // "the command used and arguments").
+                    self.jobs.lock().insert(
+                        job.job_id,
+                        JobEntry {
+                            spec: XrslRequest::from_text(&job.rsl)
+                                .ok()
+                                .and_then(|r| r.job)
+                                .unwrap_or_else(|| minimal_spec(&job.rsl)),
+                            rsl_text: job.rsl.clone(),
+                            owner: job.owner.clone(),
+                            account: job.account.clone(),
+                            kind: BackendKind::Fork,
+                            queue_name: None,
+                            job_ref: BackendJobRef::Processes(vec![]),
+                            output: String::new(),
+                            state: *state,
+                            exit_code: *exit_code,
+                            submitted_at: self.clock.now(),
+                            retries_left: 0,
+                            timeout_exceeded: false,
+                        },
+                    );
+                }
+                None => {
+                    // In flight: restart it from its logged xRSL.
+                    let Ok(req) = XrslRequest::from_text(&job.rsl) else {
+                        continue;
+                    };
+                    let Some(spec) = req.job else { continue };
+                    let Ok((kind, queue_name, backend)) = self.backend_for(&spec) else {
+                        continue;
+                    };
+                    let Ok((job_ref, output)) = backend.submit(&spec, &job.account) else {
+                        continue;
+                    };
+                    let initial = match backend.poll(&job_ref) {
+                        BackendStatus::Pending => JobStateCode::Pending,
+                        _ => JobStateCode::Active,
+                    };
+                    let retries_left = spec.restart_on_fail;
+                    self.jobs.lock().insert(
+                        job.job_id,
+                        JobEntry {
+                            spec,
+                            rsl_text: job.rsl.clone(),
+                            owner: job.owner.clone(),
+                            account: job.account.clone(),
+                            kind,
+                            queue_name,
+                            job_ref,
+                            output,
+                            state: initial,
+                            exit_code: None,
+                            submitted_at: self.clock.now(),
+                            retries_left,
+                            timeout_exceeded: false,
+                        },
+                    );
+                    self.wal.record(&WalEvent::StateChanged {
+                        job_id: job.job_id,
+                        state: initial,
+                    });
+                    self.metrics.counter("jobs.recovered").incr();
+                    restarted.push(job.job_id);
+                }
+            }
+        }
+        restarted
+    }
+}
+
+/// Placeholder spec for terminal recovered jobs whose RSL no longer
+/// parses (it is never executed again).
+fn minimal_spec(rsl: &str) -> JobRequest {
+    JobRequest {
+        executable: rsl.to_string(),
+        arguments: vec![],
+        environment: vec![],
+        directory: None,
+        count: 1,
+        max_time: None,
+        stdout: None,
+        stderr: None,
+        job_type: JobType::Fork,
+        queue: None,
+        requirements: vec![],
+        restart_on_fail: 0,
+        timeout: None,
+        timeout_action: TimeoutAction::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{ForkBackend, JarletBackend, QueueBackend};
+    use crate::sandbox::{ExecMode, Policy};
+    use infogram_host::commands::{ChargeMode, CommandRegistry};
+    use infogram_host::machine::SimulatedHost;
+    use infogram_host::queue::FifoQueue;
+    use infogram_sim::ManualClock;
+    use std::time::Duration;
+
+    struct World {
+        clock: Arc<ManualClock>,
+        registry: Arc<CommandRegistry>,
+        engine: Arc<JobEngine>,
+    }
+
+    fn world() -> World {
+        let clock = ManualClock::new();
+        let host = SimulatedHost::default_on(clock.clone());
+        let registry = CommandRegistry::new(host, ChargeMode::None);
+        let engine = JobEngine::new(
+            EngineConfig::default(),
+            clock.clone(),
+            Wal::in_memory(),
+            ForkBackend::new(Arc::clone(&registry)),
+            MetricSet::new(),
+        )
+        .with_jarlet(JarletBackend::new(
+            Arc::clone(registry.host()),
+            Policy::restrictive(),
+            ExecMode::Isolated,
+        ));
+        engine.add_queue(
+            "pbs",
+            QueueBackend::new(
+                "pbs",
+                Arc::new(FifoQueue::new(clock.clone(), 2)),
+                Arc::clone(&registry),
+            ),
+        );
+        World {
+            clock,
+            registry,
+            engine,
+        }
+    }
+
+    fn submit(w: &World, rsl: &str) -> JobHandle {
+        let req = XrslRequest::from_text(rsl).unwrap();
+        w.engine
+            .submit(rsl, req.job.unwrap(), "/O=Grid/CN=Tester", "tester")
+            .unwrap()
+    }
+
+    #[test]
+    fn fork_job_lifecycle() {
+        let w = world();
+        let h = submit(&w, "(executable=simwork)(arguments=500)");
+        assert_eq!(h.epoch, 1);
+        let st = w.engine.status(h.job_id).unwrap();
+        assert_eq!(st.state, JobStateCode::Active);
+        assert_eq!(st.output, "", "no output before terminal");
+        w.clock.advance(Duration::from_millis(500));
+        let st = w.engine.status(h.job_id).unwrap();
+        assert_eq!(st.state, JobStateCode::Done);
+        assert_eq!(st.exit_code, Some(0));
+        assert!(st.output.contains("simulated work complete"));
+    }
+
+    #[test]
+    fn failing_job_goes_failed() {
+        let w = world();
+        let h = submit(&w, "(executable=simwork)(arguments=100 9)");
+        w.clock.advance(Duration::from_millis(100));
+        let st = w.engine.status(h.job_id).unwrap();
+        assert_eq!(st.state, JobStateCode::Failed);
+        assert_eq!(st.exit_code, Some(9));
+    }
+
+    #[test]
+    fn restart_on_fail_retries() {
+        let w = world();
+        let h = submit(&w, "&(executable=simwork)(arguments=100 5)(restartonfail=2)");
+        // First attempt fails at t=100 → auto-restart.
+        w.clock.advance(Duration::from_millis(100));
+        let st = w.engine.status(h.job_id).unwrap();
+        assert!(
+            st.state == JobStateCode::Pending || st.state == JobStateCode::Active,
+            "restarted, not failed: {st:?}"
+        );
+        // Two more failures exhaust the retry budget.
+        w.clock.advance(Duration::from_millis(100));
+        w.engine.status(h.job_id).unwrap();
+        w.clock.advance(Duration::from_millis(100));
+        let st = w.engine.status(h.job_id).unwrap();
+        assert_eq!(st.state, JobStateCode::Failed);
+        assert_eq!(
+            w.engine.metrics().counter_value("jobs.restarts"),
+            2,
+            "retry budget of 2 consumed"
+        );
+    }
+
+    #[test]
+    fn cancel_running_job() {
+        let w = world();
+        let h = submit(&w, "(executable=simwork)(arguments=60000)");
+        assert!(w.engine.cancel(h.job_id));
+        let st = w.engine.status(h.job_id).unwrap();
+        assert_eq!(st.state, JobStateCode::Canceled);
+        assert!(!w.engine.cancel(h.job_id), "cancel of terminal job fails");
+        assert!(!w.engine.cancel(999), "unknown job");
+    }
+
+    #[test]
+    fn maxtime_kills_overrunning_job() {
+        let w = world();
+        // maxtime is minutes; 1 minute limit, 2-minute job.
+        let h = submit(&w, "&(executable=simwork)(arguments=120000)(maxtime=1)");
+        w.clock.advance(Duration::from_secs(61));
+        let st = w.engine.status(h.job_id).unwrap();
+        assert_eq!(st.state, JobStateCode::Failed);
+        assert_eq!(w.engine.metrics().counter_value("jobs.maxtime_kills"), 1);
+    }
+
+    #[test]
+    fn batch_job_queues() {
+        let w = world();
+        let ids: Vec<JobHandle> = (0..3)
+            .map(|_| submit(&w, "&(executable=simwork)(arguments=1000)(jobtype=batch)"))
+            .collect();
+        // 2 slots: two active, one pending.
+        let states: Vec<JobStateCode> = ids
+            .iter()
+            .map(|h| w.engine.status(h.job_id).unwrap().state)
+            .collect();
+        assert_eq!(
+            states
+                .iter()
+                .filter(|s| **s == JobStateCode::Active)
+                .count(),
+            2
+        );
+        assert_eq!(
+            states
+                .iter()
+                .filter(|s| **s == JobStateCode::Pending)
+                .count(),
+            1
+        );
+        w.clock.advance(Duration::from_secs(2));
+        for h in &ids {
+            assert_eq!(w.engine.status(h.job_id).unwrap().state, JobStateCode::Done);
+        }
+    }
+
+    #[test]
+    fn unknown_queue_rejected() {
+        let w = world();
+        let req =
+            XrslRequest::from_text("&(executable=simwork)(jobtype=batch)(queue=lsf)").unwrap();
+        match w
+            .engine
+            .submit("x", req.job.unwrap(), "/O=Grid/CN=T", "t")
+        {
+            Err(SubmitError::UnknownQueue(q)) => assert_eq!(q, "lsf"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn jarlet_job_through_engine() {
+        let w = world();
+        w.registry
+            .host()
+            .fs
+            .write("/home/gregor/analysis.jar", "compute 20; print ok");
+        let h = submit(&w, "(executable=/home/gregor/analysis.jar)");
+        w.clock.advance(Duration::from_millis(100));
+        let st = w.engine.status(h.job_id).unwrap();
+        assert_eq!(st.state, JobStateCode::Done);
+        assert!(st.output.contains("ok"));
+    }
+
+    #[test]
+    fn watchers_see_transitions() {
+        let w = world();
+        let seen: Arc<Mutex<Vec<JobStateCode>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        w.engine.on_state_change(move |_h, s| seen2.lock().push(s));
+        let h = submit(&w, "(executable=simwork)(arguments=200)");
+        w.clock.advance(Duration::from_millis(200));
+        w.engine.status(h.job_id).unwrap();
+        let states = seen.lock().clone();
+        assert_eq!(states.first(), Some(&JobStateCode::Active));
+        assert_eq!(states.last(), Some(&JobStateCode::Done));
+    }
+
+    #[test]
+    fn wal_records_full_history() {
+        let w = world();
+        let h = submit(&w, "(executable=simwork)(arguments=100)");
+        w.clock.advance(Duration::from_millis(100));
+        w.engine.status(h.job_id).unwrap();
+        let events = w.engine.wal_events();
+        assert!(matches!(events[0], WalEvent::ServiceStarted { epoch: 1 }));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, WalEvent::Submitted { job_id, .. } if *job_id == h.job_id)));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            WalEvent::Finished { state: JobStateCode::Done, .. }
+        )));
+    }
+
+    #[test]
+    fn status_of_unknown_job() {
+        let w = world();
+        assert!(w.engine.status(424242).is_none());
+    }
+
+    #[test]
+    fn stdout_redirection_writes_host_file() {
+        let w = world();
+        w.engine.set_stdio_host(Arc::clone(w.registry.host()));
+        let h = submit(
+            &w,
+            "&(executable=simwork)(arguments=100)(stdout=/home/gregor/job.out)(stderr=/home/gregor/job.err)",
+        );
+        w.clock.advance(Duration::from_millis(100));
+        w.engine.status(h.job_id).unwrap();
+        let out = w
+            .registry
+            .host()
+            .fs
+            .read_text("/home/gregor/job.out")
+            .expect("stdout file written");
+        assert!(out.contains("simulated work complete"));
+        assert_eq!(
+            w.registry.host().fs.read_text("/home/gregor/job.err").unwrap(),
+            "",
+            "clean exit leaves an empty stderr file"
+        );
+    }
+
+    #[test]
+    fn stderr_redirection_records_failure() {
+        let w = world();
+        w.engine.set_stdio_host(Arc::clone(w.registry.host()));
+        let h = submit(
+            &w,
+            "&(executable=simwork)(arguments=50 3)(stderr=/tmp/fail.err)",
+        );
+        w.clock.advance(Duration::from_millis(50));
+        w.engine.status(h.job_id).unwrap();
+        let err = w.registry.host().fs.read_text("/tmp/fail.err").unwrap();
+        assert!(err.contains("FAILED"));
+        assert!(err.contains("exit Some(3)"));
+    }
+
+    #[test]
+    fn job_owner_recorded() {
+        let w = world();
+        let h = submit(&w, "(executable=simwork)(arguments=10)");
+        let (owner, account) = w.engine.job_owner(h.job_id).unwrap();
+        assert_eq!(owner, "/O=Grid/CN=Tester");
+        assert_eq!(account, "tester");
+    }
+}

@@ -1,0 +1,383 @@
+//! The wire-facing GRAM server: gatekeeper + per-connection service loop.
+//!
+//! §2 of the paper: "the gatekeeper is responsible for authentication
+//! with the client, performing a simple authorization based on mapping
+//! the authentication information into a local security context (e.g., a
+//! Unix login). After this initial security check, it starts up a job
+//! manager that interacts thereafter with the client."
+//!
+//! This server is the **baseline** of Figure 2: it serves job requests
+//! only. An `(info=...)` query is answered with
+//! [`codes::UNSUPPORTED`] — in the baseline world the client must open a
+//! second connection, to a second service, speaking a second protocol
+//! (the MDS, in `infogram-mds`). InfoGram (in `infogram-core`) removes
+//! exactly this refusal.
+
+use crate::engine::{JobEngine, SubmitError};
+use infogram_gsi::{
+    wire_server_respond, wire_server_verify, Authorizer, Certificate, Credential,
+};
+use infogram_proto::message::{codes, JobStateCode, Reply, Request};
+use infogram_proto::transport::{Conn, Listener, ProtoError, Transport};
+use infogram_rsl::{RequestKind, XrslRequest};
+use infogram_sim::clock::SharedClock;
+use infogram_sim::SplitMix64;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A running GRAM (or GRAM-shaped) server.
+pub struct GramServer {
+    engine: Arc<JobEngine>,
+    credential: Credential,
+    trust_roots: Vec<Certificate>,
+    authorizer: Arc<Authorizer>,
+    clock: SharedClock,
+    addr: String,
+    listener: Arc<Box<dyn Listener>>,
+    running: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for GramServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GramServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+/// How a server answers one already-authorized request. The GRAM baseline
+/// and the InfoGram service share the gatekeeper and differ only here.
+pub trait RequestDispatcher: Send + Sync + 'static {
+    /// Answer one request from an authenticated `(owner, account)` pair.
+    /// `subscribe` is invoked with the job id when the client asked for
+    /// callbacks on a submitted job.
+    fn dispatch(
+        &self,
+        owner: &str,
+        account: &str,
+        request: Request,
+        subscribe: &mut dyn FnMut(u64),
+    ) -> Reply;
+}
+
+/// The baseline dispatcher: jobs only, info refused.
+pub struct JobsOnlyDispatcher {
+    engine: Arc<JobEngine>,
+}
+
+impl JobsOnlyDispatcher {
+    /// Wrap an engine.
+    pub fn new(engine: Arc<JobEngine>) -> Arc<Self> {
+        Arc::new(JobsOnlyDispatcher { engine })
+    }
+}
+
+/// Job-contact authorization (§2: a handle can be used "from other remote
+/// clients with appropriate authorization"): the owning grid identity, or
+/// any identity mapped to the same local account, may poll and cancel.
+fn may_contact(engine: &JobEngine, job_id: u64, owner: &str, account: &str) -> bool {
+    match engine.job_owner(job_id) {
+        Some((job_owner, job_account)) => job_owner == owner || job_account == account,
+        None => true, // unknown job: fall through to NO_SUCH_JOB
+    }
+}
+
+/// Shared submit/status/cancel handling used by both the baseline GRAM
+/// dispatcher and the InfoGram dispatcher in `infogram-core`.
+pub fn dispatch_job_request(
+    engine: &JobEngine,
+    owner: &str,
+    account: &str,
+    request: &Request,
+    subscribe: &mut dyn FnMut(u64),
+) -> Option<Reply> {
+    match request {
+        Request::Submit { rsl, callback } => {
+            let parsed = match XrslRequest::parse_all(rsl) {
+                Ok(p) => p,
+                Err(e) => {
+                    return Some(Reply::Error {
+                        code: codes::BAD_RSL,
+                        message: e.to_string(),
+                    })
+                }
+            };
+            if parsed.len() != 1 {
+                // DUROC multi-requests are not supported, exactly as the
+                // paper states for J-GRAM.
+                return Some(Reply::Error {
+                    code: codes::UNSUPPORTED,
+                    message: "multi-request (+) submission is not supported (no DUROC)"
+                        .to_string(),
+                });
+            }
+            let req = &parsed[0];
+            match req.kind() {
+                RequestKind::Job => {
+                    let spec = req.job.clone().expect("kind Job implies job");
+                    match engine.submit(rsl, spec, owner, account) {
+                        Ok(handle) => {
+                            if *callback {
+                                subscribe(handle.job_id);
+                            }
+                            Some(Reply::JobAccepted { handle })
+                        }
+                        Err(SubmitError::Backend(e)) => Some(Reply::Error {
+                            code: codes::EXECUTION_FAILED,
+                            message: e.to_string(),
+                        }),
+                        Err(e) => Some(Reply::Error {
+                            code: codes::EXECUTION_FAILED,
+                            message: e.to_string(),
+                        }),
+                    }
+                }
+                RequestKind::Both => Some(Reply::Error {
+                    code: codes::AMBIGUOUS_REQUEST,
+                    message: "specification mixes (executable=) and (info=)".to_string(),
+                }),
+                // Info and Empty are not job requests: let the caller
+                // decide (GRAM refuses, InfoGram answers).
+                RequestKind::Info | RequestKind::Empty => None,
+            }
+        }
+        Request::Status { handle } => Some(match engine.status(handle.job_id) {
+            Some(_) if !may_contact(engine, handle.job_id, owner, account) => Reply::Error {
+                code: codes::AUTHORIZATION,
+                message: format!("job {} belongs to another identity", handle.job_id),
+            },
+            Some(view) => {
+                if view.timeout_exceeded {
+                    Reply::Error {
+                        code: codes::TIMEOUT_EXCEPTION,
+                        message: format!(
+                            "job {} exceeded its timeout (action=exception); it continues to run",
+                            handle.job_id
+                        ),
+                    }
+                } else {
+                    Reply::JobStatus {
+                        handle: handle.clone(),
+                        state: view.state,
+                        exit_code: view.exit_code,
+                        output: view.output,
+                    }
+                }
+            }
+            None => Reply::Error {
+                code: codes::NO_SUCH_JOB,
+                message: format!("no job {}", handle.job_id),
+            },
+        }),
+        Request::Cancel { handle }
+            if engine.job_owner(handle.job_id).is_some()
+                && !may_contact(engine, handle.job_id, owner, account) =>
+        {
+            Some(Reply::Error {
+                code: codes::AUTHORIZATION,
+                message: format!("job {} belongs to another identity", handle.job_id),
+            })
+        }
+        Request::Cancel { handle } => Some(if engine.cancel(handle.job_id) {
+            Reply::JobStatus {
+                handle: handle.clone(),
+                state: JobStateCode::Canceled,
+                exit_code: None,
+                output: String::new(),
+            }
+        } else {
+            Reply::Error {
+                code: codes::NO_SUCH_JOB,
+                message: format!("no cancellable job {}", handle.job_id),
+            }
+        }),
+        Request::Ping => Some(Reply::Pong),
+    }
+}
+
+impl RequestDispatcher for JobsOnlyDispatcher {
+    fn dispatch(
+        &self,
+        owner: &str,
+        account: &str,
+        request: Request,
+        subscribe: &mut dyn FnMut(u64),
+    ) -> Reply {
+        match dispatch_job_request(&self.engine, owner, account, &request, subscribe) {
+            Some(reply) => reply,
+            None => Reply::Error {
+                code: codes::UNSUPPORTED,
+                message: "this GRAM serves job requests only; query the MDS for information"
+                    .to_string(),
+            },
+        }
+    }
+}
+
+impl GramServer {
+    /// Start a server: bind, spawn the accept loop, serve until
+    /// [`GramServer::shutdown`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        engine: Arc<JobEngine>,
+        dispatcher: Arc<dyn RequestDispatcher>,
+        transport: &dyn Transport,
+        bind_addr: &str,
+        credential: Credential,
+        trust_roots: Vec<Certificate>,
+        authorizer: Arc<Authorizer>,
+        clock: SharedClock,
+    ) -> Result<Arc<Self>, ProtoError> {
+        let listener: Arc<Box<dyn Listener>> = Arc::new(transport.listen(bind_addr)?);
+        let addr = listener.local_addr();
+        let server = Arc::new(GramServer {
+            engine,
+            credential,
+            trust_roots,
+            authorizer,
+            clock,
+            addr,
+            listener: Arc::clone(&listener),
+            running: Arc::new(AtomicBool::new(true)),
+            accept_thread: Mutex::new(None),
+        });
+        let accept_server = Arc::clone(&server);
+        let dispatcher = Arc::clone(&dispatcher);
+        let handle = std::thread::spawn(move || {
+            while accept_server.running.load(Ordering::SeqCst) {
+                match accept_server.listener.accept() {
+                    Ok(conn) => {
+                        let conn: Arc<dyn Conn> = Arc::from(conn);
+                        let server = Arc::clone(&accept_server);
+                        let dispatcher = Arc::clone(&dispatcher);
+                        std::thread::spawn(move || {
+                            server.serve_connection(conn, dispatcher);
+                        });
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        *server.accept_thread.lock() = Some(handle);
+        Ok(server)
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The engine behind this server.
+    pub fn engine(&self) -> &Arc<JobEngine> {
+        &self.engine
+    }
+
+    /// Stop accepting and unblock the accept loop.
+    pub fn shutdown(&self) {
+        self.running.store(false, Ordering::SeqCst);
+        self.listener.close();
+        if let Some(t) = self.accept_thread.lock().take() {
+            let _ = t.join();
+        }
+    }
+
+    fn serve_connection(&self, conn: Arc<dyn Conn>, dispatcher: Arc<dyn RequestDispatcher>) {
+        // ---- gatekeeper: 3-message mutual authentication ----
+        let now = self.clock.now();
+        let mut rng = SplitMix64::new(now.as_nanos() ^ 0x6a7e_5eed);
+        let Ok(hello) = conn.recv() else { return };
+        let (resp, pending) =
+            match wire_server_respond(&self.credential, &self.trust_roots, &hello, now, &mut rng)
+            {
+                Ok(x) => x,
+                Err(e) => {
+                    let _ = conn.send(
+                        &Reply::Error {
+                            code: codes::AUTHENTICATION,
+                            message: e.to_string(),
+                        }
+                        .encode(),
+                    );
+                    return;
+                }
+            };
+        if conn.send(&resp).is_err() {
+            return;
+        }
+        let Ok(fin) = conn.recv() else { return };
+        let ctx = match wire_server_verify(&pending, &fin) {
+            Ok(ctx) => ctx,
+            Err(e) => {
+                let _ = conn.send(
+                    &Reply::Error {
+                        code: codes::AUTHENTICATION,
+                        message: e.to_string(),
+                    }
+                    .encode(),
+                );
+                return;
+            }
+        };
+
+        // ---- authorization: gridmap (+ contracts) ----
+        let resource = self.engine.config().service_name.clone();
+        let decision = match self.authorizer.authorize(&ctx.peer, &resource, now) {
+            Ok(d) => d,
+            Err(e) => {
+                let _ = conn.send(
+                    &Reply::Error {
+                        code: codes::AUTHORIZATION,
+                        message: e.to_string(),
+                    }
+                    .encode(),
+                );
+                return;
+            }
+        };
+        let _ = conn.send(&Reply::Pong.encode()); // authorization ack
+        let owner = decision.grid_identity.to_string();
+        let account = decision.local_account;
+
+        // ---- event callbacks: watcher pushing Events over this conn ----
+        let subscriptions: Arc<Mutex<HashMap<u64, JobStateCode>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let watcher_id = {
+            let subscriptions = Arc::clone(&subscriptions);
+            let event_conn = Arc::clone(&conn);
+            self.engine.on_state_change(move |handle, state| {
+                let mut subs = subscriptions.lock();
+                if let Some(last) = subs.get_mut(&handle.job_id) {
+                    if *last != state {
+                        *last = state;
+                        let _ = event_conn.send(&Reply::Event { handle, state }.encode());
+                    }
+                }
+            })
+        };
+
+        // ---- request loop (ends when the client hangs up) ----
+        while let Ok(bytes) = conn.recv() {
+            let reply = match Request::decode(&bytes) {
+                Ok(request) => {
+                    let mut subscribe = |job_id: u64| {
+                        subscriptions
+                            .lock()
+                            .insert(job_id, JobStateCode::Pending);
+                    };
+                    dispatcher.dispatch(&owner, &account, request, &mut subscribe)
+                }
+                Err(e) => Reply::Error {
+                    code: codes::BAD_RSL,
+                    message: e.to_string(),
+                },
+            };
+            if conn.send(&reply.encode()).is_err() {
+                break;
+            }
+        }
+        self.engine.remove_watcher(watcher_id);
+    }
+}

@@ -1,0 +1,568 @@
+//! The logging service: write-ahead log, restart recovery, accounting.
+//!
+//! §6 of the paper: "Logging and check pointing is enabled through a
+//! logging service. ... In either case the log can be used to restart our
+//! InfoGRAM service in case it needs to be restarted (e.g. the machine was
+//! shut down). ... Presently, we only record minimal information such as
+//! the command used and arguments executed. We intend to use this logging
+//! service to provide simple Grid accounting."
+//!
+//! Faithful to that: the log records submissions (the xRSL text — the
+//! command and arguments), state changes, and completions; [`RecoveredState`]
+//! rebuilds the job table from it; [`accounting_summary`] derives the
+//! per-account usage report.
+
+use infogram_proto::message::JobStateCode;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::PathBuf;
+
+const SEP: char = '\x1f';
+
+/// One logged event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalEvent {
+    /// The service (re)started with this epoch.
+    ServiceStarted {
+        /// Restart generation.
+        epoch: u64,
+    },
+    /// A job was accepted.
+    Submitted {
+        /// Engine-local job id.
+        job_id: u64,
+        /// The full xRSL text — "the command used and arguments".
+        rsl: String,
+        /// The grid identity (DN string).
+        owner: String,
+        /// The mapped local account.
+        account: String,
+    },
+    /// A job changed state.
+    StateChanged {
+        /// Which job.
+        job_id: u64,
+        /// The new state.
+        state: JobStateCode,
+    },
+    /// An authenticated information query was served (§7: "logging of
+    /// authenticated information queries to guide the use as part of
+    /// intelligent scheduling services").
+    InfoQueried {
+        /// The grid identity (DN string).
+        owner: String,
+        /// The mapped local account.
+        account: String,
+        /// Comma-joined keywords served.
+        keywords: String,
+    },
+    /// A job reached a terminal state.
+    Finished {
+        /// Which job.
+        job_id: u64,
+        /// Terminal state (Done/Failed/Canceled).
+        state: JobStateCode,
+        /// Exit code if the job ran to completion.
+        exit_code: Option<i32>,
+        /// Wall seconds consumed (for accounting).
+        wall_seconds: f64,
+    },
+}
+
+fn state_str(s: JobStateCode) -> &'static str {
+    match s {
+        JobStateCode::Pending => "PENDING",
+        JobStateCode::Active => "ACTIVE",
+        JobStateCode::Suspended => "SUSPENDED",
+        JobStateCode::Done => "DONE",
+        JobStateCode::Failed => "FAILED",
+        JobStateCode::Canceled => "CANCELED",
+    }
+}
+
+fn parse_state(s: &str) -> Option<JobStateCode> {
+    Some(match s {
+        "PENDING" => JobStateCode::Pending,
+        "ACTIVE" => JobStateCode::Active,
+        "SUSPENDED" => JobStateCode::Suspended,
+        "DONE" => JobStateCode::Done,
+        "FAILED" => JobStateCode::Failed,
+        "CANCELED" => JobStateCode::Canceled,
+        _ => return None,
+    })
+}
+
+impl WalEvent {
+    /// Encode as one log line (no newlines; RSL text cannot contain
+    /// newlines after parsing).
+    pub fn encode(&self) -> String {
+        match self {
+            WalEvent::ServiceStarted { epoch } => format!("START{SEP}{epoch}"),
+            WalEvent::Submitted {
+                job_id,
+                rsl,
+                owner,
+                account,
+            } => {
+                let rsl = rsl.replace('\n', " ");
+                format!("SUBMIT{SEP}{job_id}{SEP}{owner}{SEP}{account}{SEP}{rsl}")
+            }
+            WalEvent::StateChanged { job_id, state } => {
+                format!("STATE{SEP}{job_id}{SEP}{}", state_str(*state))
+            }
+            WalEvent::InfoQueried {
+                owner,
+                account,
+                keywords,
+            } => format!("INFOQ{SEP}{owner}{SEP}{account}{SEP}{keywords}"),
+            WalEvent::Finished {
+                job_id,
+                state,
+                exit_code,
+                wall_seconds,
+            } => format!(
+                "FINISH{SEP}{job_id}{SEP}{}{SEP}{}{SEP}{wall_seconds:.3}",
+                state_str(*state),
+                exit_code.map(|c| c.to_string()).unwrap_or_default()
+            ),
+        }
+    }
+
+    /// Decode one log line; `None` for corrupt lines (recovery skips
+    /// them rather than refusing to start).
+    pub fn decode(line: &str) -> Option<WalEvent> {
+        let fields: Vec<&str> = line.split(SEP).collect();
+        match fields.as_slice() {
+            ["START", epoch] => Some(WalEvent::ServiceStarted {
+                epoch: epoch.parse().ok()?,
+            }),
+            ["SUBMIT", job_id, owner, account, rsl] => Some(WalEvent::Submitted {
+                job_id: job_id.parse().ok()?,
+                rsl: rsl.to_string(),
+                owner: owner.to_string(),
+                account: account.to_string(),
+            }),
+            ["STATE", job_id, state] => Some(WalEvent::StateChanged {
+                job_id: job_id.parse().ok()?,
+                state: parse_state(state)?,
+            }),
+            ["INFOQ", owner, account, keywords] => Some(WalEvent::InfoQueried {
+                owner: owner.to_string(),
+                account: account.to_string(),
+                keywords: keywords.to_string(),
+            }),
+            ["FINISH", job_id, state, exit, wall] => Some(WalEvent::Finished {
+                job_id: job_id.parse().ok()?,
+                state: parse_state(state)?,
+                exit_code: if exit.is_empty() {
+                    None
+                } else {
+                    Some(exit.parse().ok()?)
+                },
+                wall_seconds: wall.parse().ok()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Where log lines go. "The log can either be stored in the middle tier,
+/// or on the backend tier" — here: in memory, or on disk.
+pub trait WalSink: Send + Sync {
+    /// Append one encoded event.
+    fn append(&self, line: &str);
+    /// Load every line appended so far (including previous runs, for the
+    /// file sink).
+    fn load(&self) -> Vec<String>;
+}
+
+/// In-memory log (middle tier).
+#[derive(Debug, Default)]
+pub struct MemWal {
+    lines: Mutex<Vec<String>>,
+}
+
+impl MemWal {
+    /// An empty in-memory log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl WalSink for MemWal {
+    fn append(&self, line: &str) {
+        self.lines.lock().push(line.to_string());
+    }
+
+    fn load(&self) -> Vec<String> {
+        self.lines.lock().clone()
+    }
+}
+
+/// File-backed log (backend tier) — survives process restarts.
+#[derive(Debug)]
+pub struct FileWal {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl FileWal {
+    /// Open (creating or appending to) the log at `path`.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(FileWal {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+}
+
+impl WalSink for FileWal {
+    fn append(&self, line: &str) {
+        let mut f = self.file.lock();
+        let _ = writeln!(f, "{line}");
+        let _ = f.flush();
+    }
+
+    fn load(&self) -> Vec<String> {
+        std::fs::read_to_string(&self.path)
+            .map(|s| s.lines().map(str::to_string).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// The logging service handle used by the engine.
+pub struct Wal {
+    sink: Box<dyn WalSink>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal").finish_non_exhaustive()
+    }
+}
+
+impl Wal {
+    /// A log over the given sink.
+    pub fn new(sink: Box<dyn WalSink>) -> Self {
+        Wal { sink }
+    }
+
+    /// An in-memory log.
+    pub fn in_memory() -> Self {
+        Wal::new(Box::new(MemWal::new()))
+    }
+
+    /// Record an event.
+    pub fn record(&self, event: &WalEvent) {
+        self.sink.append(&event.encode());
+    }
+
+    /// Load and decode every recorded event, skipping corrupt lines.
+    pub fn events(&self) -> Vec<WalEvent> {
+        self.sink
+            .load()
+            .iter()
+            .filter_map(|l| WalEvent::decode(l))
+            .collect()
+    }
+}
+
+/// A job reconstructed from the log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredJob {
+    /// Original job id.
+    pub job_id: u64,
+    /// The xRSL it was submitted with.
+    pub rsl: String,
+    /// Owner DN string.
+    pub owner: String,
+    /// Local account.
+    pub account: String,
+    /// Terminal state, if the job finished before the crash.
+    pub finished: Option<(JobStateCode, Option<i32>)>,
+}
+
+/// Everything recovery needs from a log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveredState {
+    /// Highest epoch seen (the restarted service uses `epoch + 1`).
+    pub last_epoch: u64,
+    /// Highest job id seen (ids continue from here).
+    pub last_job_id: u64,
+    /// All jobs, in submission order.
+    pub jobs: Vec<RecoveredJob>,
+}
+
+impl RecoveredState {
+    /// Rebuild from events.
+    pub fn from_events(events: &[WalEvent]) -> RecoveredState {
+        let mut state = RecoveredState::default();
+        let mut index: BTreeMap<u64, usize> = BTreeMap::new();
+        for ev in events {
+            match ev {
+                WalEvent::ServiceStarted { epoch } => {
+                    state.last_epoch = state.last_epoch.max(*epoch);
+                }
+                WalEvent::Submitted {
+                    job_id,
+                    rsl,
+                    owner,
+                    account,
+                } => {
+                    state.last_job_id = state.last_job_id.max(*job_id);
+                    index.insert(*job_id, state.jobs.len());
+                    state.jobs.push(RecoveredJob {
+                        job_id: *job_id,
+                        rsl: rsl.clone(),
+                        owner: owner.clone(),
+                        account: account.clone(),
+                        finished: None,
+                    });
+                }
+                WalEvent::StateChanged { .. } | WalEvent::InfoQueried { .. } => {}
+                WalEvent::Finished {
+                    job_id,
+                    state: s,
+                    exit_code,
+                    ..
+                } => {
+                    if let Some(&i) = index.get(job_id) {
+                        state.jobs[i].finished = Some((*s, *exit_code));
+                    }
+                }
+            }
+        }
+        state
+    }
+
+    /// Jobs that were in flight when the service died — the ones restart
+    /// must resubmit.
+    pub fn unfinished(&self) -> Vec<&RecoveredJob> {
+        self.jobs.iter().filter(|j| j.finished.is_none()).collect()
+    }
+}
+
+/// Per-account usage derived from the log — the paper's "simple Grid
+/// accounting".
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccountUsage {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs that finished successfully.
+    pub completed: u64,
+    /// Jobs that failed or were cancelled.
+    pub failed: u64,
+    /// Total wall seconds of finished jobs.
+    pub wall_seconds: f64,
+    /// Information queries served (the §7 query log).
+    pub info_queries: u64,
+}
+
+/// Summarize the log per local account.
+pub fn accounting_summary(events: &[WalEvent]) -> BTreeMap<String, AccountUsage> {
+    let mut by_account: BTreeMap<String, AccountUsage> = BTreeMap::new();
+    let mut job_account: BTreeMap<u64, String> = BTreeMap::new();
+    for ev in events {
+        match ev {
+            WalEvent::Submitted {
+                job_id, account, ..
+            } => {
+                job_account.insert(*job_id, account.clone());
+                by_account.entry(account.clone()).or_default().submitted += 1;
+            }
+            WalEvent::Finished {
+                job_id,
+                state,
+                wall_seconds,
+                ..
+            } => {
+                if let Some(account) = job_account.get(job_id) {
+                    let usage = by_account.entry(account.clone()).or_default();
+                    usage.wall_seconds += wall_seconds;
+                    if *state == JobStateCode::Done {
+                        usage.completed += 1;
+                    } else {
+                        usage.failed += 1;
+                    }
+                }
+            }
+            WalEvent::InfoQueried { account, .. } => {
+                by_account.entry(account.clone()).or_default().info_queries += 1;
+            }
+            _ => {}
+        }
+    }
+    by_account
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<WalEvent> {
+        vec![
+            WalEvent::ServiceStarted { epoch: 1 },
+            WalEvent::Submitted {
+                job_id: 1,
+                rsl: "&(executable=/bin/date)(arguments=-u)".to_string(),
+                owner: "/O=Grid/CN=Alice".to_string(),
+                account: "alice".to_string(),
+            },
+            WalEvent::StateChanged {
+                job_id: 1,
+                state: JobStateCode::Active,
+            },
+            WalEvent::Submitted {
+                job_id: 2,
+                rsl: "(executable=simwork 500)".to_string(),
+                owner: "/O=Grid/CN=Bob".to_string(),
+                account: "bob".to_string(),
+            },
+            WalEvent::Finished {
+                job_id: 1,
+                state: JobStateCode::Done,
+                exit_code: Some(0),
+                wall_seconds: 1.25,
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for ev in sample_events() {
+            let line = ev.encode();
+            assert!(!line.contains('\n'));
+            assert_eq!(WalEvent::decode(&line), Some(ev));
+        }
+        // Finished with no exit code.
+        let ev = WalEvent::Finished {
+            job_id: 3,
+            state: JobStateCode::Canceled,
+            exit_code: None,
+            wall_seconds: 0.5,
+        };
+        assert_eq!(WalEvent::decode(&ev.encode()), Some(ev));
+        // Info query log entries.
+        let ev = WalEvent::InfoQueried {
+            owner: "/O=Grid/CN=Alice".to_string(),
+            account: "alice".to_string(),
+            keywords: "Memory,CPU".to_string(),
+        };
+        assert_eq!(WalEvent::decode(&ev.encode()), Some(ev));
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_lines() {
+        assert_eq!(WalEvent::decode(""), None);
+        assert_eq!(WalEvent::decode("NOISE"), None);
+        assert_eq!(WalEvent::decode("STATE\x1fabc\x1fACTIVE"), None);
+        assert_eq!(WalEvent::decode("STATE\x1f1\x1fDANCING"), None);
+    }
+
+    #[test]
+    fn mem_wal_roundtrip() {
+        let wal = Wal::in_memory();
+        for ev in sample_events() {
+            wal.record(&ev);
+        }
+        assert_eq!(wal.events(), sample_events());
+    }
+
+    #[test]
+    fn file_wal_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("infogram-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test-survive.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = Wal::new(Box::new(FileWal::open(&path).unwrap()));
+            for ev in sample_events() {
+                wal.record(&ev);
+            }
+        }
+        let wal = Wal::new(Box::new(FileWal::open(&path).unwrap()));
+        assert_eq!(wal.events(), sample_events());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recovery_finds_unfinished_jobs() {
+        let state = RecoveredState::from_events(&sample_events());
+        assert_eq!(state.last_epoch, 1);
+        assert_eq!(state.last_job_id, 2);
+        assert_eq!(state.jobs.len(), 2);
+        let unfinished = state.unfinished();
+        assert_eq!(unfinished.len(), 1);
+        assert_eq!(unfinished[0].job_id, 2);
+        assert_eq!(unfinished[0].account, "bob");
+        // Job 1 finished before the crash.
+        assert_eq!(
+            state.jobs[0].finished,
+            Some((JobStateCode::Done, Some(0)))
+        );
+    }
+
+    #[test]
+    fn recovery_skips_corrupt_lines() {
+        let wal = Wal::in_memory();
+        wal.record(&sample_events()[0]);
+        wal.sink.append("CORRUPT LINE");
+        wal.record(&sample_events()[1]);
+        assert_eq!(wal.events().len(), 2);
+    }
+
+    #[test]
+    fn accounting_per_account() {
+        let mut events = sample_events();
+        events.push(WalEvent::Finished {
+            job_id: 2,
+            state: JobStateCode::Failed,
+            exit_code: Some(3),
+            wall_seconds: 0.75,
+        });
+        let summary = accounting_summary(&events);
+        let alice = &summary["alice"];
+        assert_eq!(alice.submitted, 1);
+        assert_eq!(alice.completed, 1);
+        assert_eq!(alice.failed, 0);
+        assert!((alice.wall_seconds - 1.25).abs() < 1e-9);
+        let bob = &summary["bob"];
+        assert_eq!(bob.submitted, 1);
+        assert_eq!(bob.failed, 1);
+    }
+
+    #[test]
+    fn accounting_counts_info_queries() {
+        let events = vec![
+            WalEvent::InfoQueried {
+                owner: "/O=Grid/CN=Alice".to_string(),
+                account: "alice".to_string(),
+                keywords: "Memory".to_string(),
+            },
+            WalEvent::InfoQueried {
+                owner: "/O=Grid/CN=Alice".to_string(),
+                account: "alice".to_string(),
+                keywords: "CPU,CPULoad".to_string(),
+            },
+        ];
+        let summary = accounting_summary(&events);
+        assert_eq!(summary["alice"].info_queries, 2);
+        assert_eq!(summary["alice"].submitted, 0);
+    }
+
+    #[test]
+    fn epoch_tracking_across_restarts() {
+        let events = vec![
+            WalEvent::ServiceStarted { epoch: 1 },
+            WalEvent::ServiceStarted { epoch: 2 },
+            WalEvent::ServiceStarted { epoch: 3 },
+        ];
+        assert_eq!(RecoveredState::from_events(&events).last_epoch, 3);
+    }
+}

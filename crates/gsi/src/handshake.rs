@@ -1,0 +1,483 @@
+//! Mutual authentication handshake.
+//!
+//! Models the GSI/SSL exchange the gatekeeper runs before anything else
+//! (§2: "the gatekeeper is responsible for authentication with the
+//! client"). The exchange is three messages —
+//!
+//! 1. client → server: client chain + client nonce
+//! 2. server → client: server chain + server nonce + signature over the
+//!    client nonce
+//! 3. client → server: signature over the server nonce
+//!
+//! — after which both sides hold a [`SecurityContext`]. The message count
+//! is exported as [`HANDSHAKE_MESSAGES`] so the protocol-overhead
+//! experiments (Figures 2/4) can charge it per connection.
+
+use crate::cert::{verify_chain, CertError, Certificate, Credential};
+use crate::dn::Dn;
+use infogram_sim::{SimTime, SplitMix64};
+
+/// Number of wire messages a full mutual handshake costs.
+pub const HANDSHAKE_MESSAGES: u64 = 3;
+
+/// Why a handshake failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeError {
+    /// The peer's certificate chain failed validation.
+    BadChain(CertError),
+    /// The peer's proof-of-possession signature did not verify.
+    BadProof {
+        /// Which side presented the bad proof.
+        side: &'static str,
+    },
+    /// A wire message was malformed.
+    Malformed(String),
+}
+
+impl std::fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandshakeError::BadChain(e) => write!(f, "handshake: {e}"),
+            HandshakeError::BadProof { side } => {
+                write!(f, "handshake: bad proof of possession from {side}")
+            }
+            HandshakeError::Malformed(s) => write!(f, "handshake: malformed message: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for HandshakeError {}
+
+/// An established, mutually authenticated security context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecurityContext {
+    /// The peer's base identity (proxies resolved).
+    pub peer: Dn,
+    /// The local party's base identity.
+    pub local: Dn,
+    /// When the context was established.
+    pub established_at: SimTime,
+}
+
+/// Run a full mutual authentication between a client and server
+/// credential, both validating against `trust_roots` at time `now`.
+///
+/// Returns the client-side and server-side security contexts. The wire
+/// cost is [`HANDSHAKE_MESSAGES`]; callers that meter traffic must charge
+/// it themselves (the transports in `infogram-proto` do).
+pub fn authenticate(
+    client: &Credential,
+    server: &Credential,
+    trust_roots: &[Certificate],
+    now: SimTime,
+    rng: &mut SplitMix64,
+) -> Result<(SecurityContext, SecurityContext), HandshakeError> {
+    // Message 1: client chain + nonce.
+    let client_nonce = rng.next_u64().to_le_bytes();
+    let client_id =
+        verify_chain(&client.chain, trust_roots, now).map_err(HandshakeError::BadChain)?;
+
+    // Message 2: server chain + nonce + proof over client nonce.
+    let server_nonce = rng.next_u64().to_le_bytes();
+    let server_id =
+        verify_chain(&server.chain, trust_roots, now).map_err(HandshakeError::BadChain)?;
+    let server_proof = server.key.sign(&client_nonce);
+    if !server.chain[0]
+        .subject_key
+        .verify(&client_nonce, server_proof)
+    {
+        return Err(HandshakeError::BadProof { side: "server" });
+    }
+
+    // Message 3: client proof over server nonce.
+    let client_proof = client.key.sign(&server_nonce);
+    if !client.chain[0]
+        .subject_key
+        .verify(&server_nonce, client_proof)
+    {
+        return Err(HandshakeError::BadProof { side: "client" });
+    }
+
+    Ok((
+        SecurityContext {
+            peer: server_id.clone(),
+            local: client_id.clone(),
+            established_at: now,
+        },
+        SecurityContext {
+            peer: client_id,
+            local: server_id,
+            established_at: now,
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Wire-level handshake: the same 3 messages as byte payloads, used by the
+// gatekeepers over real connections.
+//
+//   M1  client → server   HELLO  <client nonce> <client chain>
+//   M2  server → client   RESP   <server nonce> <sig over client nonce>
+//                                <server chain>
+//   M3  client → server   FIN    <sig over server nonce>
+// ---------------------------------------------------------------------
+
+const FIELD_SEP: char = '\x1f';
+const SECTION_SEP: char = '\x1e';
+
+fn malformed(what: &str) -> HandshakeError {
+    HandshakeError::Malformed(what.to_string())
+}
+
+/// Server-side state between M1/M2 and M3.
+#[derive(Debug, Clone)]
+pub struct ServerPending {
+    /// The client's authenticated base identity.
+    pub client_identity: Dn,
+    client_leaf_key: crate::cert::PublicKey,
+    server_nonce: u64,
+    server_identity: Dn,
+    established_at: SimTime,
+}
+
+/// Client step 1: build the HELLO payload. Returns the payload and the
+/// client nonce to keep for [`wire_client_finish`].
+pub fn wire_client_hello(client: &Credential, rng: &mut SplitMix64) -> (Vec<u8>, u64) {
+    let nonce = rng.next_u64();
+    let payload = format!(
+        "HELLO{FIELD_SEP}{nonce}{SECTION_SEP}{}",
+        crate::wire::encode_chain(&client.chain)
+    );
+    (payload.into_bytes(), nonce)
+}
+
+/// Server step: validate the HELLO, produce the RESP payload and the
+/// pending state for [`wire_server_verify`].
+pub fn wire_server_respond(
+    server: &Credential,
+    trust_roots: &[Certificate],
+    hello: &[u8],
+    now: SimTime,
+    rng: &mut SplitMix64,
+) -> Result<(Vec<u8>, ServerPending), HandshakeError> {
+    let text = std::str::from_utf8(hello).map_err(|_| malformed("HELLO utf-8"))?;
+    let (head, chain_str) = text
+        .split_once(SECTION_SEP)
+        .ok_or_else(|| malformed("HELLO sections"))?;
+    let (tag, nonce_str) = head
+        .split_once(FIELD_SEP)
+        .ok_or_else(|| malformed("HELLO header"))?;
+    if tag != "HELLO" {
+        return Err(malformed("HELLO tag"));
+    }
+    let client_nonce: u64 = nonce_str.parse().map_err(|_| malformed("HELLO nonce"))?;
+    let client_chain =
+        crate::wire::decode_chain(chain_str).map_err(|e| malformed(&e.to_string()))?;
+    let client_identity =
+        verify_chain(&client_chain, trust_roots, now).map_err(HandshakeError::BadChain)?;
+
+    let server_nonce = rng.next_u64();
+    let proof = server.key.sign(&client_nonce.to_le_bytes());
+    let payload = format!(
+        "RESP{FIELD_SEP}{server_nonce}{FIELD_SEP}{proof}{SECTION_SEP}{}",
+        crate::wire::encode_chain(&server.chain)
+    );
+    Ok((
+        payload.into_bytes(),
+        ServerPending {
+            client_identity,
+            client_leaf_key: client_chain[0].subject_key,
+            server_nonce,
+            server_identity: server.base_identity(),
+            established_at: now,
+        },
+    ))
+}
+
+/// Client step 2: validate the RESP, produce the FIN payload and the
+/// client-side security context.
+pub fn wire_client_finish(
+    client: &Credential,
+    trust_roots: &[Certificate],
+    resp: &[u8],
+    client_nonce: u64,
+    now: SimTime,
+) -> Result<(Vec<u8>, SecurityContext), HandshakeError> {
+    let text = std::str::from_utf8(resp).map_err(|_| malformed("RESP utf-8"))?;
+    let (head, chain_str) = text
+        .split_once(SECTION_SEP)
+        .ok_or_else(|| malformed("RESP sections"))?;
+    let mut fields = head.split(FIELD_SEP);
+    if fields.next() != Some("RESP") {
+        return Err(malformed("RESP tag"));
+    }
+    let server_nonce: u64 = fields
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| malformed("RESP nonce"))?;
+    let server_proof: u64 = fields
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| malformed("RESP proof"))?;
+    let server_chain =
+        crate::wire::decode_chain(chain_str).map_err(|e| malformed(&e.to_string()))?;
+    let server_identity =
+        verify_chain(&server_chain, trust_roots, now).map_err(HandshakeError::BadChain)?;
+    if !server_chain[0]
+        .subject_key
+        .verify(&client_nonce.to_le_bytes(), server_proof)
+    {
+        return Err(HandshakeError::BadProof { side: "server" });
+    }
+    let fin_proof = client.key.sign(&server_nonce.to_le_bytes());
+    let payload = format!("FIN{FIELD_SEP}{fin_proof}");
+    Ok((
+        payload.into_bytes(),
+        SecurityContext {
+            peer: server_identity,
+            local: client.base_identity(),
+            established_at: now,
+        },
+    ))
+}
+
+/// Server step 2: validate the FIN and produce the server-side context.
+pub fn wire_server_verify(
+    pending: &ServerPending,
+    fin: &[u8],
+) -> Result<SecurityContext, HandshakeError> {
+    let text = std::str::from_utf8(fin).map_err(|_| malformed("FIN utf-8"))?;
+    let (tag, proof_str) = text
+        .split_once(FIELD_SEP)
+        .ok_or_else(|| malformed("FIN header"))?;
+    if tag != "FIN" {
+        return Err(malformed("FIN tag"));
+    }
+    let proof: u64 = proof_str.parse().map_err(|_| malformed("FIN proof"))?;
+    if !pending
+        .client_leaf_key
+        .verify(&pending.server_nonce.to_le_bytes(), proof)
+    {
+        return Err(HandshakeError::BadProof { side: "client" });
+    }
+    Ok(SecurityContext {
+        peer: pending.client_identity.clone(),
+        local: pending.server_identity.clone(),
+        established_at: pending.established_at,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::CertificateAuthority;
+    use std::time::Duration;
+
+    struct World {
+        ca: CertificateAuthority,
+        rng: SplitMix64,
+    }
+
+    fn world() -> World {
+        let mut rng = SplitMix64::new(7);
+        let ca = CertificateAuthority::new_root(
+            &Dn::user("Grid", "CA", "Root"),
+            &mut rng,
+            SimTime::ZERO,
+            Duration::from_secs(10 * 365 * 86_400),
+        );
+        World { ca, rng }
+    }
+
+    #[test]
+    fn successful_mutual_auth() {
+        let mut w = world();
+        let user = w.ca.issue(
+            &Dn::user("Grid", "ANL", "Alice"),
+            &mut w.rng,
+            SimTime::ZERO,
+            Duration::from_secs(86_400),
+        );
+        let host = w.ca.issue(
+            &Dn::user("Grid", "Hosts", "gatekeeper.anl.gov"),
+            &mut w.rng,
+            SimTime::ZERO,
+            Duration::from_secs(86_400),
+        );
+        let roots = [w.ca.certificate().clone()];
+        let (cctx, sctx) =
+            authenticate(&user, &host, &roots, SimTime::from_secs(5), &mut w.rng).unwrap();
+        assert_eq!(cctx.peer, Dn::user("Grid", "Hosts", "gatekeeper.anl.gov"));
+        assert_eq!(sctx.peer, Dn::user("Grid", "ANL", "Alice"));
+        assert_eq!(cctx.local, sctx.peer);
+        assert_eq!(cctx.established_at, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn proxy_authenticates_as_owner() {
+        let mut w = world();
+        let user = w.ca.issue(
+            &Dn::user("Grid", "ANL", "Bob"),
+            &mut w.rng,
+            SimTime::ZERO,
+            Duration::from_secs(86_400),
+        );
+        let proxy = user
+            .delegate(&mut w.rng, SimTime::ZERO, Duration::from_secs(3600), 0)
+            .unwrap();
+        let host = w.ca.issue(
+            &Dn::user("Grid", "Hosts", "gk"),
+            &mut w.rng,
+            SimTime::ZERO,
+            Duration::from_secs(86_400),
+        );
+        let roots = [w.ca.certificate().clone()];
+        let (_c, sctx) =
+            authenticate(&proxy, &host, &roots, SimTime::from_secs(1), &mut w.rng).unwrap();
+        assert_eq!(sctx.peer, Dn::user("Grid", "ANL", "Bob"));
+    }
+
+    #[test]
+    fn expired_client_rejected() {
+        let mut w = world();
+        let user = w.ca.issue(
+            &Dn::user("Grid", "ANL", "Expired"),
+            &mut w.rng,
+            SimTime::ZERO,
+            Duration::from_secs(10),
+        );
+        let host = w.ca.issue(
+            &Dn::user("Grid", "Hosts", "gk"),
+            &mut w.rng,
+            SimTime::ZERO,
+            Duration::from_secs(86_400),
+        );
+        let roots = [w.ca.certificate().clone()];
+        match authenticate(&user, &host, &roots, SimTime::from_secs(100), &mut w.rng) {
+            Err(HandshakeError::BadChain(CertError::Expired { .. })) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn untrusted_server_rejected() {
+        let mut w = world();
+        let mut rogue_rng = SplitMix64::new(13);
+        let rogue_ca = CertificateAuthority::new_root(
+            &Dn::user("Rogue", "CA", "Evil"),
+            &mut rogue_rng,
+            SimTime::ZERO,
+            Duration::from_secs(86_400),
+        );
+        let user = w.ca.issue(
+            &Dn::user("Grid", "ANL", "Careful"),
+            &mut w.rng,
+            SimTime::ZERO,
+            Duration::from_secs(86_400),
+        );
+        let evil_host = rogue_ca.issue(
+            &Dn::user("Grid", "Hosts", "fake-gk"),
+            &mut rogue_rng,
+            SimTime::ZERO,
+            Duration::from_secs(86_400),
+        );
+        let roots = [w.ca.certificate().clone()];
+        match authenticate(&user, &evil_host, &roots, SimTime::ZERO, &mut w.rng) {
+            Err(HandshakeError::BadChain(CertError::UntrustedRoot { .. })) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn handshake_message_count_is_three() {
+        // The constant the protocol-overhead experiments rely on.
+        assert_eq!(HANDSHAKE_MESSAGES, 3);
+    }
+
+    #[test]
+    fn wire_handshake_full_exchange() {
+        let mut w = world();
+        let user = w.ca.issue(
+            &Dn::user("Grid", "ANL", "WireAlice"),
+            &mut w.rng,
+            SimTime::ZERO,
+            Duration::from_secs(86_400),
+        );
+        let host = w.ca.issue(
+            &Dn::user("Grid", "Hosts", "wire-gk"),
+            &mut w.rng,
+            SimTime::ZERO,
+            Duration::from_secs(86_400),
+        );
+        let roots = [w.ca.certificate().clone()];
+        let now = SimTime::from_secs(9);
+
+        let (m1, client_nonce) = wire_client_hello(&user, &mut w.rng);
+        let (m2, pending) =
+            wire_server_respond(&host, &roots, &m1, now, &mut w.rng).unwrap();
+        let (m3, cctx) = wire_client_finish(&user, &roots, &m2, client_nonce, now).unwrap();
+        let sctx = wire_server_verify(&pending, &m3).unwrap();
+
+        assert_eq!(cctx.peer, Dn::user("Grid", "Hosts", "wire-gk"));
+        assert_eq!(sctx.peer, Dn::user("Grid", "ANL", "WireAlice"));
+        assert_eq!(cctx.local, sctx.peer);
+        assert_eq!(sctx.local, cctx.peer);
+    }
+
+    #[test]
+    fn wire_handshake_rejects_wrong_key() {
+        let mut w = world();
+        let user = w.ca.issue(
+            &Dn::user("Grid", "ANL", "Mallory"),
+            &mut w.rng,
+            SimTime::ZERO,
+            Duration::from_secs(86_400),
+        );
+        let host = w.ca.issue(
+            &Dn::user("Grid", "Hosts", "gk"),
+            &mut w.rng,
+            SimTime::ZERO,
+            Duration::from_secs(86_400),
+        );
+        let roots = [w.ca.certificate().clone()];
+        let now = SimTime::ZERO;
+        // Mallory presents Alice's chain but does not hold her key.
+        let alice = w.ca.issue(
+            &Dn::user("Grid", "ANL", "RealAlice"),
+            &mut w.rng,
+            SimTime::ZERO,
+            Duration::from_secs(86_400),
+        );
+        let stolen = Credential {
+            key: user.key, // wrong private key
+            chain: alice.chain.clone(),
+        };
+        let (m1, nonce) = wire_client_hello(&stolen, &mut w.rng);
+        let (m2, pending) = wire_server_respond(&host, &roots, &m1, now, &mut w.rng)
+            .expect("chain itself is valid");
+        let (m3, _cctx) = wire_client_finish(&stolen, &roots, &m2, nonce, now).unwrap();
+        // The FIN proof is signed with the wrong key: server rejects.
+        assert!(matches!(
+            wire_server_verify(&pending, &m3),
+            Err(HandshakeError::BadProof { side: "client" })
+        ));
+    }
+
+    #[test]
+    fn wire_handshake_rejects_garbage() {
+        let mut w = world();
+        let host = w.ca.issue(
+            &Dn::user("Grid", "Hosts", "gk"),
+            &mut w.rng,
+            SimTime::ZERO,
+            Duration::from_secs(86_400),
+        );
+        let roots = [w.ca.certificate().clone()];
+        for noise in [&b""[..], b"HELLO", b"\xff\xfe", b"HELLO\x1fnope\x1echain"] {
+            assert!(
+                wire_server_respond(&host, &roots, noise, SimTime::ZERO, &mut w.rng).is_err(),
+                "{noise:?} accepted"
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Simulated compute host.
+//!
+//! The InfoGram paper's information providers shell out to real system
+//! commands — `date -u`, `/sbin/sysinfo.exe -mem`, `/usr/local/bin/
+//! cpuload.exe`, `ls` (Table 1) — and its J-GRAM backends submit jobs to
+//! real local schedulers (fork, PBS, LSF, Condor). This crate replaces that
+//! 2002 machine room with a deterministic model:
+//!
+//! * [`SimulatedHost`] — one machine: hostname, CPU count, a stochastic
+//!   CPU-load process, memory/disk models, a `/proc`-like read-only
+//!   filesystem, and a process table.
+//! * [`commands`] — a registry mapping command lines to handlers with
+//!   configurable execution-cost distributions; the built-ins mirror
+//!   Table 1 of the paper.
+//! * [`queue`] — batch-scheduler models (FIFO, fair-share, and a
+//!   Condor-style matchmaker) used by the J-GRAM backends.
+//!
+//! Everything is clock- and seed-parameterized, so the caching and
+//! degradation experiments can replay identical "system" behaviour.
+
+pub mod commands;
+pub mod cpu;
+pub mod disk;
+pub mod machine;
+pub mod memory;
+pub mod process;
+pub mod procfs;
+pub mod queue;
+
+pub use commands::{CommandError, CommandOutput, CommandRegistry, CostModel};
+pub use cpu::CpuLoadModel;
+pub use machine::{HostConfig, SimulatedHost};
+pub use process::{ExitStatus, ProcState, ProcessTable};
+pub use queue::{BatchJob, BatchQueue, FairShareQueue, FifoQueue, JobOutcome, Matchmaker};

@@ -1,0 +1,174 @@
+//! Memory model for a simulated host.
+//!
+//! Tracks total/used memory. The "ambient" usage follows a slow random
+//! walk (background daemons), and explicit reservations are layered on top
+//! for running jobs so the execution experiments see memory pressure.
+
+use infogram_sim::{Clock, SimTime, SplitMix64};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Simulated physical memory.
+#[derive(Debug)]
+pub struct MemoryModel {
+    clock: Arc<dyn Clock>,
+    total: u64,
+    inner: Mutex<MemState>,
+}
+
+#[derive(Debug)]
+struct MemState {
+    rng: SplitMix64,
+    advanced_to: SimTime,
+    ambient: u64,
+    reserved: u64,
+}
+
+/// Error returned when a reservation cannot be satisfied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes that were free.
+    pub available: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of memory: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+impl MemoryModel {
+    /// A host with `total` bytes, of which roughly `ambient_fraction` is
+    /// already in use by the (simulated) OS.
+    pub fn new(clock: Arc<dyn Clock>, seed: u64, total: u64, ambient_fraction: f64) -> Self {
+        let ambient = (total as f64 * ambient_fraction.clamp(0.0, 0.9)) as u64;
+        MemoryModel {
+            clock,
+            total,
+            inner: Mutex::new(MemState {
+                rng: SplitMix64::new(seed),
+                advanced_to: SimTime::ZERO,
+                ambient,
+                reserved: 0,
+            }),
+        }
+    }
+
+    fn drift(&self, st: &mut MemState) {
+        let now = self.clock.now();
+        let step = Duration::from_secs(5).as_nanos() as u64;
+        while st.advanced_to.as_nanos() + step <= now.as_nanos() {
+            // Ambient usage random-walks by up to ±0.5% of total per step.
+            let delta = st.rng.normal(0.0, self.total as f64 * 0.005);
+            let next = st.ambient as f64 + delta;
+            let cap = self.total.saturating_sub(st.reserved) as f64 * 0.95;
+            st.ambient = next.clamp(0.0, cap) as u64;
+            st.advanced_to = SimTime::from_nanos(st.advanced_to.as_nanos() + step);
+        }
+    }
+
+    /// Total physical bytes.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bytes currently in use (ambient + reservations).
+    pub fn used(&self) -> u64 {
+        let mut st = self.inner.lock();
+        self.drift(&mut st);
+        (st.ambient + st.reserved).min(self.total)
+    }
+
+    /// Bytes currently free.
+    pub fn free(&self) -> u64 {
+        self.total - self.used()
+    }
+
+    /// Reserve `bytes` for a job; fails if not available.
+    pub fn reserve(&self, bytes: u64) -> Result<(), OutOfMemory> {
+        let mut st = self.inner.lock();
+        self.drift(&mut st);
+        let used = (st.ambient + st.reserved).min(self.total);
+        let available = self.total - used;
+        if bytes > available {
+            return Err(OutOfMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        st.reserved += bytes;
+        Ok(())
+    }
+
+    /// Release a previous reservation (saturating; releasing more than
+    /// reserved clamps to zero rather than corrupting state).
+    pub fn release(&self, bytes: u64) {
+        let mut st = self.inner.lock();
+        st.reserved = st.reserved.saturating_sub(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infogram_sim::ManualClock;
+
+    const GIB: u64 = 1 << 30;
+
+    fn model() -> (Arc<ManualClock>, MemoryModel) {
+        let clock = ManualClock::new();
+        let m = MemoryModel::new(clock.clone(), 7, 4 * GIB, 0.25);
+        (clock, m)
+    }
+
+    #[test]
+    fn accounting_consistent() {
+        let (_c, m) = model();
+        assert_eq!(m.total(), 4 * GIB);
+        assert_eq!(m.used() + m.free(), m.total());
+    }
+
+    #[test]
+    fn reserve_and_release() {
+        let (_c, m) = model();
+        let before = m.used();
+        m.reserve(GIB).unwrap();
+        assert!(m.used() >= before + GIB);
+        m.release(GIB);
+        assert!(m.used() < before + GIB);
+    }
+
+    #[test]
+    fn over_reserve_fails() {
+        let (_c, m) = model();
+        let err = m.reserve(100 * GIB).unwrap_err();
+        assert_eq!(err.requested, 100 * GIB);
+        assert!(err.available < 4 * GIB);
+    }
+
+    #[test]
+    fn ambient_drifts_over_time() {
+        let (clock, m) = model();
+        let a = m.used();
+        clock.advance(Duration::from_secs(600));
+        let b = m.used();
+        assert_ne!(a, b, "ambient usage should drift");
+        assert!(b <= m.total());
+    }
+
+    #[test]
+    fn release_saturates() {
+        let (_c, m) = model();
+        m.release(10 * GIB); // nothing reserved; must not underflow
+        assert!(m.used() <= m.total());
+    }
+}

@@ -1,0 +1,190 @@
+//! Information aggregation.
+//!
+//! §3: "the aggregate service is used to integrate a set of information
+//! providers that may be part of a virtual organization. ... we can
+//! create information aggregates through reuse of information providers
+//! to improve scalability." An [`Aggregate`] indexes several
+//! [`InformationService`]s (typically one per host of a virtual
+//! organization) and fans queries out to every member that serves the
+//! requested keyword.
+
+use crate::service::{InfoServiceError, InformationService, QueryOptions};
+use infogram_proto::record::InfoRecord;
+use infogram_rsl::InfoSelector;
+use infogram_sim::metrics::MetricSet;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A virtual-organization-level index over member information services.
+pub struct Aggregate {
+    name: String,
+    members: RwLock<Vec<Arc<InformationService>>>,
+    metrics: MetricSet,
+}
+
+impl std::fmt::Debug for Aggregate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Aggregate")
+            .field("name", &self.name)
+            .field("members", &self.members.read().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Aggregate {
+    /// An empty aggregate for a virtual organization.
+    pub fn new(name: &str, metrics: MetricSet) -> Arc<Self> {
+        Arc::new(Aggregate {
+            name: name.to_string(),
+            members: RwLock::new(Vec::new()),
+            metrics,
+        })
+    }
+
+    /// The virtual organization name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Register a member service.
+    pub fn register(&self, service: Arc<InformationService>) {
+        self.members.write().push(service);
+    }
+
+    /// Number of member services.
+    pub fn member_count(&self) -> usize {
+        self.members.read().len()
+    }
+
+    /// Hosts that serve a given keyword.
+    pub fn who_serves(&self, keyword: &str) -> Vec<String> {
+        self.members
+            .read()
+            .iter()
+            .filter(|m| m.lookup(keyword).is_some())
+            .map(|m| m.hostname().to_string())
+            .collect()
+    }
+
+    /// Fan a query out to every member that can answer it; concatenates
+    /// the per-host records. Members lacking a requested keyword are
+    /// skipped (an aggregate is sparse by nature); a query no member can
+    /// answer returns `UnknownKeyword`.
+    pub fn query(
+        &self,
+        selectors: &[InfoSelector],
+        opts: &QueryOptions,
+    ) -> Result<Vec<InfoRecord>, InfoServiceError> {
+        let members = self.members.read().clone();
+        let mut records = Vec::new();
+        for sel in selectors {
+            let mut answered = false;
+            for member in &members {
+                let can_answer = match sel {
+                    InfoSelector::Keyword(k) => member.lookup(k).is_some(),
+                    _ => true,
+                };
+                if !can_answer {
+                    continue;
+                }
+                self.metrics.counter("aggregate.fanout").incr();
+                records.extend(member.answer(std::slice::from_ref(sel), opts)?);
+                answered = true;
+            }
+            if !answered {
+                if let InfoSelector::Keyword(k) = sel {
+                    return Err(InfoServiceError::UnknownKeyword(k.clone()));
+                }
+            }
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServiceConfig;
+    use infogram_host::commands::{ChargeMode, CommandRegistry};
+    use infogram_host::machine::{HostConfig, SimulatedHost};
+    use infogram_sim::ManualClock;
+
+    fn vo_with_hosts(n: usize) -> (Arc<ManualClock>, Arc<Aggregate>) {
+        let clock = ManualClock::new();
+        let agg = Aggregate::new("anl-vo", MetricSet::new());
+        for i in 0..n {
+            let config = HostConfig {
+                hostname: format!("node{i:02}.grid"),
+                seed: 1000 + i as u64,
+                ..Default::default()
+            };
+            let host = SimulatedHost::new(config, clock.clone());
+            let reg = CommandRegistry::new(host, ChargeMode::Advance(clock.clone()));
+            agg.register(InformationService::from_config(
+                &ServiceConfig::table1(),
+                reg,
+                clock.clone(),
+                MetricSet::new(),
+            ));
+        }
+        (clock, agg)
+    }
+
+    #[test]
+    fn fanout_collects_per_host_records() {
+        let (_c, agg) = vo_with_hosts(4);
+        assert_eq!(agg.member_count(), 4);
+        let recs = agg
+            .query(
+                &[InfoSelector::Keyword("Memory".to_string())],
+                &QueryOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(recs.len(), 4);
+        let hosts: Vec<&str> = recs.iter().map(|r| r.host.as_str()).collect();
+        assert!(hosts.contains(&"node00.grid"));
+        assert!(hosts.contains(&"node03.grid"));
+    }
+
+    #[test]
+    fn who_serves() {
+        let (_c, agg) = vo_with_hosts(3);
+        assert_eq!(agg.who_serves("CPULoad").len(), 3);
+        assert!(agg.who_serves("Bogus").is_empty());
+    }
+
+    #[test]
+    fn unknown_keyword_across_all_members() {
+        let (_c, agg) = vo_with_hosts(2);
+        match agg.query(
+            &[InfoSelector::Keyword("Bogus".to_string())],
+            &QueryOptions::default(),
+        ) {
+            Err(InfoServiceError::UnknownKeyword(k)) => assert_eq!(k, "Bogus"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn info_all_fans_out_everything() {
+        let (_c, agg) = vo_with_hosts(2);
+        let recs = agg
+            .query(&[InfoSelector::All], &QueryOptions::default())
+            .unwrap();
+        assert_eq!(recs.len(), 10, "5 keywords × 2 hosts");
+        assert_eq!(agg.metrics.counter_value("aggregate.fanout"), 2);
+    }
+
+    #[test]
+    fn member_caches_are_independent() {
+        let (_c, agg) = vo_with_hosts(2);
+        let sel = [InfoSelector::Keyword("Memory".to_string())];
+        let opts = QueryOptions::default();
+        agg.query(&sel, &opts).unwrap();
+        agg.query(&sel, &opts).unwrap();
+        let members = agg.members.read().clone();
+        for m in members.iter() {
+            assert_eq!(m.lookup("Memory").unwrap().execution_count(), 1);
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! One cached keyword: the paper's `SystemInformation` interface.
+//!
+//! §6.2 specifies the behaviour this module implements verbatim:
+//!
+//! > "The method `queryState` is non blocking and returns valid
+//! > information only when the information has been queried previously and
+//! > the time to live (ttl) value has not expired. Otherwise, it throws an
+//! > exception. Upon invocation of the `updateState` method, a blocking
+//! > method is called that returns the appropriate information while also
+//! > updating the time to live value. If multiple `updateState` methods
+//! > are invoked, monitors are used to perform only one such update at a
+//! > time. Additionally, we provide a delay that controls how many
+//! > milliseconds must pass between consecutive calls of `updateState`
+//! > before the actual information is obtained through a runtime exec
+//! > call."
+
+use crate::provider::{InfoProvider, ProviderError};
+use crate::quality::DegradationFn;
+use infogram_sim::clock::SharedClock;
+use infogram_sim::{SimTime, Welford};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A point-in-time copy of a keyword's cached information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The keyword.
+    pub keyword: String,
+    /// `(attribute, value)` pairs as produced.
+    pub attributes: Vec<(String, String)>,
+    /// When the value was produced.
+    pub produced_at: SimTime,
+    /// Whether this call was served from cache (no provider execution).
+    pub from_cache: bool,
+}
+
+/// Why a non-blocking query could not be served.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Nothing has ever been produced for this keyword.
+    NeverProduced,
+    /// The cached value's TTL has expired.
+    Expired {
+        /// Age of the stale value.
+        age: Duration,
+        /// The TTL it exceeded.
+        ttl: Duration,
+    },
+    /// The provider failed during a (blocking) update.
+    Provider(ProviderError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::NeverProduced => write!(f, "information never produced"),
+            QueryError::Expired { age, ttl } => {
+                write!(f, "information expired: age {age:?} exceeds ttl {ttl:?}")
+            }
+            QueryError::Provider(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[derive(Debug, Clone)]
+struct CachedValue {
+    attributes: Vec<(String, String)>,
+    produced_at: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct EntryState {
+    cached: Option<CachedValue>,
+    /// Clock time the last real provider execution *started*.
+    last_update_started: Option<SimTime>,
+    /// Whether a provider execution is in flight (the monitor).
+    updating: bool,
+}
+
+/// A keyword's provider, cache, monitor, and performance catalog.
+pub struct SystemInformation {
+    provider: Box<dyn InfoProvider>,
+    clock: SharedClock,
+    ttl: Duration,
+    delay: Mutex<Duration>,
+    degradation: DegradationFn,
+    state: Mutex<EntryState>,
+    update_done: Condvar,
+    perf: Mutex<Welford>,
+    /// Real provider executions (cache misses / refreshes).
+    executions: std::sync::atomic::AtomicU64,
+}
+
+impl std::fmt::Debug for SystemInformation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemInformation")
+            .field("keyword", &self.provider.keyword())
+            .field("ttl", &self.ttl)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SystemInformation {
+    /// Wrap a provider with a TTL cache.
+    ///
+    /// Per Table 1, a TTL of zero "specifies execution of the keyword
+    /// every time it is requested" — i.e. the cache never serves.
+    pub fn new(
+        provider: Box<dyn InfoProvider>,
+        clock: SharedClock,
+        ttl: Duration,
+        degradation: DegradationFn,
+    ) -> Arc<Self> {
+        Arc::new(SystemInformation {
+            provider,
+            clock,
+            ttl,
+            delay: Mutex::new(Duration::ZERO),
+            degradation,
+            state: Mutex::new(EntryState::default()),
+            update_done: Condvar::new(),
+            perf: Mutex::new(Welford::new()),
+            executions: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// The keyword served.
+    pub fn keyword(&self) -> &str {
+        self.provider.keyword()
+    }
+
+    /// The provider's source description (schema reflection).
+    pub fn source(&self) -> String {
+        self.provider.source()
+    }
+
+    /// The configured TTL.
+    pub fn ttl(&self) -> Duration {
+        self.ttl
+    }
+
+    /// The degradation function.
+    pub fn degradation(&self) -> &DegradationFn {
+        &self.degradation
+    }
+
+    /// Set the minimum gap between consecutive real updates (the paper's
+    /// `setDelay`).
+    pub fn set_delay(&self, delay: Duration) {
+        *self.delay.lock() = delay;
+    }
+
+    /// The configured delay.
+    pub fn delay(&self) -> Duration {
+        *self.delay.lock()
+    }
+
+    /// Remaining validity of the cached value: the paper's `validity()`.
+    /// Zero if never produced or already expired.
+    pub fn validity(&self) -> Duration {
+        let st = self.state.lock();
+        match &st.cached {
+            Some(c) => {
+                let age = self.clock.now().since(c.produced_at);
+                self.ttl.saturating_sub(age)
+            }
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Quality of the currently cached value under the degradation
+    /// function; `None` if never produced.
+    pub fn current_quality(&self) -> Option<f64> {
+        let st = self.state.lock();
+        st.cached
+            .as_ref()
+            .map(|c| self.degradation.quality(self.clock.now().since(c.produced_at)))
+    }
+
+    /// Non-blocking cache read: the paper's `queryState`.
+    pub fn query_state(&self) -> Result<Snapshot, QueryError> {
+        let st = self.state.lock();
+        let cached = st.cached.as_ref().ok_or(QueryError::NeverProduced)?;
+        let age = self.clock.now().since(cached.produced_at);
+        if self.ttl.is_zero() || age >= self.ttl {
+            return Err(QueryError::Expired { age, ttl: self.ttl });
+        }
+        Ok(Snapshot {
+            keyword: self.keyword().to_string(),
+            attributes: cached.attributes.clone(),
+            produced_at: cached.produced_at,
+            from_cache: true,
+        })
+    }
+
+    /// The last stored value regardless of TTL: `(response=last)`.
+    pub fn last_state(&self) -> Result<Snapshot, QueryError> {
+        let st = self.state.lock();
+        let cached = st.cached.as_ref().ok_or(QueryError::NeverProduced)?;
+        Ok(Snapshot {
+            keyword: self.keyword().to_string(),
+            attributes: cached.attributes.clone(),
+            produced_at: cached.produced_at,
+            from_cache: true,
+        })
+    }
+
+    /// Blocking refresh: the paper's `updateState`.
+    ///
+    /// * Concurrent calls coalesce: only one provider execution runs at a
+    ///   time; waiters reuse its result.
+    /// * The `delay` throttle serves the cached value if the last real
+    ///   execution started less than `delay` ago — "useful in cases where
+    ///   users ask for information more frequently than it can be
+    ///   produced by the system".
+    pub fn update_state(&self) -> Result<Snapshot, QueryError> {
+        loop {
+            let mut st = self.state.lock();
+            if st.updating {
+                // Monitor: wait for the in-flight update, then reuse it.
+                self.update_done.wait(&mut st);
+                if let Some(c) = &st.cached {
+                    return Ok(Snapshot {
+                        keyword: self.keyword().to_string(),
+                        attributes: c.attributes.clone(),
+                        produced_at: c.produced_at,
+                        from_cache: true,
+                    });
+                }
+                // The in-flight update failed and there is no older value;
+                // try an update ourselves.
+                continue;
+            }
+            // Delay gate.
+            let delay = *self.delay.lock();
+            if !delay.is_zero() {
+                if let (Some(last), Some(c)) = (st.last_update_started, st.cached.as_ref()) {
+                    if self.clock.now().since(last) < delay {
+                        return Ok(Snapshot {
+                            keyword: self.keyword().to_string(),
+                            attributes: c.attributes.clone(),
+                            produced_at: c.produced_at,
+                            from_cache: true,
+                        });
+                    }
+                }
+            }
+            st.updating = true;
+            st.last_update_started = Some(self.clock.now());
+            drop(st);
+
+            let started = self.clock.now();
+            let result = self.provider.produce();
+            let elapsed = self.clock.now().since(started);
+            self.executions
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+
+            let mut st = self.state.lock();
+            st.updating = false;
+            match result {
+                Ok(attributes) => {
+                    let produced_at = self.clock.now();
+                    st.cached = Some(CachedValue {
+                        attributes: attributes.clone(),
+                        produced_at,
+                    });
+                    self.perf.lock().record_duration(elapsed);
+                    self.update_done.notify_all();
+                    return Ok(Snapshot {
+                        keyword: self.keyword().to_string(),
+                        attributes,
+                        produced_at,
+                        from_cache: false,
+                    });
+                }
+                Err(e) => {
+                    self.update_done.notify_all();
+                    return Err(QueryError::Provider(e));
+                }
+            }
+        }
+    }
+
+    /// Cache-preferring read: `(response=cached)` — serve the cache while
+    /// valid, refresh otherwise.
+    pub fn cached_state(&self) -> Result<Snapshot, QueryError> {
+        match self.query_state() {
+            Ok(snap) => Ok(snap),
+            Err(QueryError::NeverProduced) | Err(QueryError::Expired { .. }) => {
+                self.update_state()
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The paper's `getAverageUpdateTime`: `(mean, std_dev)` of real
+    /// provider execution time, in seconds, plus the sample count.
+    pub fn average_update_time(&self) -> (f64, f64, u64) {
+        let p = self.perf.lock();
+        (p.mean(), p.std_dev(), p.count())
+    }
+
+    /// Number of real provider executions so far.
+    pub fn execution_count(&self) -> u64 {
+        self.executions.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::FnProvider;
+    use infogram_sim::{ManualClock, SystemClock};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn counted_provider(
+        calls: Arc<AtomicU64>,
+    ) -> Box<dyn InfoProvider> {
+        Box::new(FnProvider::new("K", move || {
+            let n = calls.fetch_add(1, Ordering::SeqCst) + 1;
+            Ok(vec![("n".to_string(), n.to_string())])
+        }))
+    }
+
+    fn entry_with_ttl(ttl_ms: u64) -> (Arc<ManualClock>, Arc<AtomicU64>, Arc<SystemInformation>) {
+        let clock = ManualClock::new();
+        let calls = Arc::new(AtomicU64::new(0));
+        let si = SystemInformation::new(
+            counted_provider(Arc::clone(&calls)),
+            clock.clone(),
+            Duration::from_millis(ttl_ms),
+            DegradationFn::Linear {
+                lifetime: Duration::from_millis(ttl_ms.max(1) * 2),
+            },
+        );
+        (clock, calls, si)
+    }
+
+    #[test]
+    fn query_before_any_update_throws() {
+        let (_c, _calls, si) = entry_with_ttl(100);
+        assert_eq!(si.query_state(), Err(QueryError::NeverProduced));
+        assert_eq!(si.last_state(), Err(QueryError::NeverProduced));
+        assert_eq!(si.validity(), Duration::ZERO);
+        assert_eq!(si.current_quality(), None);
+    }
+
+    #[test]
+    fn update_then_query_within_ttl() {
+        let (clock, calls, si) = entry_with_ttl(100);
+        let snap = si.update_state().unwrap();
+        assert!(!snap.from_cache);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        clock.advance(Duration::from_millis(50));
+        let q = si.query_state().unwrap();
+        assert!(q.from_cache);
+        assert_eq!(q.attributes, snap.attributes);
+        assert_eq!(si.validity(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn query_after_ttl_expires() {
+        let (clock, _calls, si) = entry_with_ttl(100);
+        si.update_state().unwrap();
+        clock.advance(Duration::from_millis(100));
+        match si.query_state() {
+            Err(QueryError::Expired { age, ttl }) => {
+                assert_eq!(age, Duration::from_millis(100));
+                assert_eq!(ttl, Duration::from_millis(100));
+            }
+            other => panic!("{other:?}"),
+        }
+        // last_state still serves it.
+        assert!(si.last_state().unwrap().from_cache);
+    }
+
+    #[test]
+    fn ttl_zero_always_executes() {
+        // Table 1: "0 specifies execution of the keyword every time it is
+        // requested" (the CPULoad row).
+        let (_c, calls, si) = entry_with_ttl(0);
+        si.update_state().unwrap();
+        assert!(si.query_state().is_err(), "ttl=0 cache never serves");
+        si.cached_state().unwrap();
+        si.cached_state().unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn cached_state_refreshes_only_on_expiry() {
+        let (clock, calls, si) = entry_with_ttl(100);
+        si.cached_state().unwrap(); // miss → execute
+        si.cached_state().unwrap(); // hit
+        clock.advance(Duration::from_millis(99));
+        si.cached_state().unwrap(); // still valid
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        clock.advance(Duration::from_millis(1));
+        si.cached_state().unwrap(); // expired → execute
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn provider_failure_surfaces() {
+        let clock = ManualClock::new();
+        let si = SystemInformation::new(
+            Box::new(FnProvider::new("Bad", || {
+                Err(ProviderError::Other("broken".to_string()))
+            })),
+            clock,
+            Duration::from_millis(100),
+            DegradationFn::default(),
+        );
+        assert!(matches!(
+            si.update_state(),
+            Err(QueryError::Provider(ProviderError::Other(_)))
+        ));
+        // A failure does not poison the entry; the next update may
+        // succeed (here it fails again, but does not deadlock).
+        assert!(si.update_state().is_err());
+    }
+
+    #[test]
+    fn delay_throttles_consecutive_updates() {
+        let (clock, calls, si) = entry_with_ttl(1);
+        si.set_delay(Duration::from_millis(100));
+        si.update_state().unwrap(); // real execution
+        clock.advance(Duration::from_millis(10));
+        let snap = si.update_state().unwrap(); // throttled → cached
+        assert!(snap.from_cache);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        clock.advance(Duration::from_millis(100));
+        let snap = si.update_state().unwrap();
+        assert!(!snap.from_cache);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn concurrent_updates_coalesce() {
+        // Real-time test: a slow provider, many threads calling
+        // update_state simultaneously — the monitor must collapse them
+        // into one execution.
+        let clock = SystemClock::shared();
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls2 = Arc::clone(&calls);
+        let si = SystemInformation::new(
+            Box::new(FnProvider::new("Slow", move || {
+                calls2.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(80));
+                Ok(vec![("v".to_string(), "1".to_string())])
+            })),
+            clock,
+            Duration::from_secs(10),
+            DegradationFn::default(),
+        );
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let si = Arc::clone(&si);
+                std::thread::spawn(move || si.update_state().unwrap())
+            })
+            .collect();
+        let mut from_cache = 0;
+        for t in threads {
+            if t.join().unwrap().from_cache {
+                from_cache += 1;
+            }
+        }
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "monitor must collapse concurrent updates into one execution"
+        );
+        assert_eq!(from_cache, 7, "seven waiters reuse the one result");
+        assert_eq!(si.execution_count(), 1);
+    }
+
+    #[test]
+    fn performance_catalog_tracks_updates() {
+        let clock = ManualClock::new();
+        let c2 = clock.clone();
+        let si = SystemInformation::new(
+            Box::new(FnProvider::new("Timed", move || {
+                c2.advance(Duration::from_millis(25));
+                Ok(vec![("v".to_string(), "1".to_string())])
+            })),
+            clock.clone(),
+            Duration::ZERO,
+            DegradationFn::default(),
+        );
+        for _ in 0..4 {
+            si.update_state().unwrap();
+        }
+        let (mean, std, n) = si.average_update_time();
+        assert_eq!(n, 4);
+        assert!((mean - 0.025).abs() < 1e-9, "mean {mean}");
+        assert!(std < 1e-9, "constant cost has zero stddev");
+    }
+
+    #[test]
+    fn quality_degrades_with_age() {
+        let (clock, _calls, si) = entry_with_ttl(100); // linear over 200ms
+        si.update_state().unwrap();
+        assert!((si.current_quality().unwrap() - 1.0).abs() < 1e-9);
+        clock.advance(Duration::from_millis(100));
+        assert!((si.current_quality().unwrap() - 0.5).abs() < 1e-9);
+        clock.advance(Duration::from_millis(200));
+        assert_eq!(si.current_quality().unwrap(), 0.0);
+    }
+}

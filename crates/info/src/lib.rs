@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! The InfoGram information service.
+//!
+//! This crate implements the information half of the paper (§3, §5.1–5.2,
+//! §6.2–6.5):
+//!
+//! * [`provider`] — information providers: "(a) calls to a system command
+//!   via the Java runtime exec (b) a query to a function exposing Java
+//!   runtime information such as load, memory, or disk space (c) or a
+//!   read function from a file" (§6.2). All three cases exist here, over
+//!   the simulated host.
+//! * [`entry::SystemInformation`] — the paper's `SystemInformation`
+//!   interface: non-blocking `query_state`, blocking coalesced
+//!   `update_state` guarded by a monitor, a `delay` throttle, TTL
+//!   bookkeeping, and the per-keyword performance catalog behind the
+//!   xRSL `performance` tag.
+//! * [`quality`] — degradation functions and quality-of-information
+//!   (§5.2, §6.4).
+//! * [`config`] — the Table 1 configuration file format mapping
+//!   `(TTL, keyword, command)`.
+//! * [`schema`] — service reflection: the `(info=schema)` response
+//!   (§6.5).
+//! * [`service`] — the assembled [`service::InformationService`]
+//!   answering selector lists with response modes, quality thresholds and
+//!   filters.
+//! * [`aggregate`] — a GIIS-style aggregate index over several services
+//!   (§3: "we can create information aggregates through reuse of
+//!   information providers to improve scalability").
+
+pub mod aggregate;
+pub mod config;
+pub mod entry;
+pub mod provider;
+pub mod quality;
+pub mod schema;
+pub mod service;
+
+pub use config::{ConfigEntry, ConfigError, ServiceConfig, TABLE1_TEXT};
+pub use entry::{QueryError, Snapshot, SystemInformation};
+pub use provider::{
+    CommandProvider, FileProvider, FnProvider, InfoProvider, ProviderError, RuntimeProvider,
+};
+pub use quality::DegradationFn;
+pub use service::{InfoServiceError, InformationService};

@@ -1,0 +1,384 @@
+//! Information providers.
+//!
+//! §6.2: "The system information service returns relevant information
+//! about the system resources, through either (a) calls to a system
+//! command via the Java runtime exec (b) a query to a function exposing
+//! Java runtime information such as load, memory, or disk space (c) or a
+//! read function from a file that is used by an information provider."
+//!
+//! * case (a) → [`CommandProvider`] over the simulated host's command
+//!   registry;
+//! * case (b) → [`RuntimeProvider`] querying the host models directly;
+//! * case (c) → [`FileProvider`] reading the host's `/proc`-style files;
+//! * plus [`FnProvider`] wrapping a closure, for tests and custom
+//!   integrations ("the integration of new information providers can be
+//!   performed through the implementation of interfaces").
+
+use infogram_host::commands::{parse_kv_output, CommandRegistry};
+use infogram_host::machine::SimulatedHost;
+use infogram_host::procfs;
+use std::sync::Arc;
+
+/// Why a provider could not produce its information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProviderError {
+    /// The backing command failed (nonzero exit or unknown executable).
+    CommandFailed {
+        /// What ran.
+        command: String,
+        /// Why it failed.
+        detail: String,
+    },
+    /// The backing file does not exist.
+    FileMissing {
+        /// The missing path.
+        path: String,
+    },
+    /// Custom provider failure.
+    Other(String),
+}
+
+impl std::fmt::Display for ProviderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProviderError::CommandFailed { command, detail } => {
+                write!(f, "command '{command}' failed: {detail}")
+            }
+            ProviderError::FileMissing { path } => write!(f, "file missing: {path}"),
+            ProviderError::Other(s) => write!(f, "provider error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ProviderError {}
+
+/// Source of one keyword's attributes. `produce` is the expensive,
+/// blocking call — the thing the TTL cache exists to avoid.
+pub trait InfoProvider: Send + Sync {
+    /// The keyword this provider serves (e.g. `Memory`).
+    fn keyword(&self) -> &str;
+    /// Produce fresh `(attribute, value)` pairs.
+    fn produce(&self) -> Result<Vec<(String, String)>, ProviderError>;
+    /// A human-readable description of the source (command line, path, …)
+    /// reported by the schema reflection.
+    fn source(&self) -> String;
+}
+
+/// Case (a): run a command through the host's registry and parse its
+/// `key: value` output.
+pub struct CommandProvider {
+    keyword: String,
+    command_line: String,
+    registry: Arc<CommandRegistry>,
+}
+
+impl CommandProvider {
+    /// A provider executing `command_line` for `keyword`.
+    pub fn new(keyword: &str, command_line: &str, registry: Arc<CommandRegistry>) -> Self {
+        CommandProvider {
+            keyword: keyword.to_string(),
+            command_line: command_line.to_string(),
+            registry,
+        }
+    }
+}
+
+impl InfoProvider for CommandProvider {
+    fn keyword(&self) -> &str {
+        &self.keyword
+    }
+
+    fn produce(&self) -> Result<Vec<(String, String)>, ProviderError> {
+        let out = self.registry.execute(&self.command_line).map_err(|e| {
+            ProviderError::CommandFailed {
+                command: self.command_line.clone(),
+                detail: e.to_string(),
+            }
+        })?;
+        if out.exit_code != 0 {
+            return Err(ProviderError::CommandFailed {
+                command: self.command_line.clone(),
+                detail: format!("exit code {}", out.exit_code),
+            });
+        }
+        Ok(parse_kv_output(&out.stdout))
+    }
+
+    fn source(&self) -> String {
+        self.command_line.clone()
+    }
+}
+
+/// Case (b): query the host models directly, no exec cost — the analogue
+/// of asking the JVM for `freeMemory()`.
+pub struct RuntimeProvider {
+    keyword: String,
+    host: Arc<SimulatedHost>,
+    facet: RuntimeFacet,
+}
+
+/// Which runtime quantity a [`RuntimeProvider`] exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeFacet {
+    /// CPU load (instantaneous + 1/5/15-minute averages).
+    Load,
+    /// Memory totals.
+    Memory,
+    /// Disk totals.
+    Disk,
+    /// Uptime and host identity.
+    Host,
+}
+
+impl RuntimeProvider {
+    /// A runtime provider for one facet.
+    pub fn new(keyword: &str, host: Arc<SimulatedHost>, facet: RuntimeFacet) -> Self {
+        RuntimeProvider {
+            keyword: keyword.to_string(),
+            host,
+            facet,
+        }
+    }
+}
+
+impl InfoProvider for RuntimeProvider {
+    fn keyword(&self) -> &str {
+        &self.keyword
+    }
+
+    fn produce(&self) -> Result<Vec<(String, String)>, ProviderError> {
+        let h = &self.host;
+        Ok(match self.facet {
+            RuntimeFacet::Load => {
+                let (l1, l5, l15) = h.cpu.load_averages();
+                vec![
+                    ("load".to_string(), format!("{:.4}", h.cpu.current())),
+                    ("load1".to_string(), format!("{l1:.4}")),
+                    ("load5".to_string(), format!("{l5:.4}")),
+                    ("load15".to_string(), format!("{l15:.4}")),
+                ]
+            }
+            RuntimeFacet::Memory => vec![
+                ("total".to_string(), h.memory.total().to_string()),
+                ("used".to_string(), h.memory.used().to_string()),
+                ("free".to_string(), h.memory.free().to_string()),
+            ],
+            RuntimeFacet::Disk => vec![
+                ("total".to_string(), h.disk.total().to_string()),
+                ("used".to_string(), h.disk.used().to_string()),
+                ("free".to_string(), h.disk.free().to_string()),
+            ],
+            RuntimeFacet::Host => vec![
+                ("hostname".to_string(), h.hostname().to_string()),
+                ("os".to_string(), h.config().os_name.clone()),
+                ("cpus".to_string(), h.config().cpus.to_string()),
+                ("uptime".to_string(), format!("{:.1}", h.uptime_secs())),
+            ],
+        })
+    }
+
+    fn source(&self) -> String {
+        format!("runtime:{:?}", self.facet)
+    }
+}
+
+/// Case (c): read a file from the host filesystem. `/proc` paths are
+/// refreshed from the live models before reading, like the real procfs.
+pub struct FileProvider {
+    keyword: String,
+    path: String,
+    host: Arc<SimulatedHost>,
+}
+
+impl FileProvider {
+    /// A provider reading `path` for `keyword`.
+    pub fn new(keyword: &str, path: &str, host: Arc<SimulatedHost>) -> Self {
+        FileProvider {
+            keyword: keyword.to_string(),
+            path: path.to_string(),
+            host,
+        }
+    }
+}
+
+impl InfoProvider for FileProvider {
+    fn keyword(&self) -> &str {
+        &self.keyword
+    }
+
+    fn produce(&self) -> Result<Vec<(String, String)>, ProviderError> {
+        if self.path.starts_with("/proc/") {
+            procfs::sync_procfs(&self.host);
+        }
+        let text = self
+            .host
+            .fs
+            .read_text(&self.path)
+            .ok_or_else(|| ProviderError::FileMissing {
+                path: self.path.clone(),
+            })?;
+        // `key: value` lines if the file has them, else the whole content.
+        let kvs = parse_kv_output(&text);
+        if kvs.is_empty() {
+            Ok(vec![("content".to_string(), text.trim_end().to_string())])
+        } else {
+            Ok(kvs)
+        }
+    }
+
+    fn source(&self) -> String {
+        format!("file:{}", self.path)
+    }
+}
+
+/// A provider wrapping a closure.
+pub struct FnProvider<F> {
+    keyword: String,
+    f: F,
+}
+
+impl<F> FnProvider<F>
+where
+    F: Fn() -> Result<Vec<(String, String)>, ProviderError> + Send + Sync,
+{
+    /// Wrap a closure as a provider.
+    pub fn new(keyword: &str, f: F) -> Self {
+        FnProvider {
+            keyword: keyword.to_string(),
+            f,
+        }
+    }
+}
+
+impl<F> InfoProvider for FnProvider<F>
+where
+    F: Fn() -> Result<Vec<(String, String)>, ProviderError> + Send + Sync,
+{
+    fn keyword(&self) -> &str {
+        &self.keyword
+    }
+
+    fn produce(&self) -> Result<Vec<(String, String)>, ProviderError> {
+        (self.f)()
+    }
+
+    fn source(&self) -> String {
+        "fn".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infogram_host::commands::ChargeMode;
+    use infogram_sim::ManualClock;
+    use std::time::Duration;
+
+    fn world() -> (Arc<ManualClock>, Arc<SimulatedHost>, Arc<CommandRegistry>) {
+        let clock = ManualClock::new();
+        let host = SimulatedHost::default_on(clock.clone());
+        let reg = CommandRegistry::new(Arc::clone(&host), ChargeMode::Advance(clock.clone()));
+        (clock, host, reg)
+    }
+
+    #[test]
+    fn command_provider_memory() {
+        let (_c, host, reg) = world();
+        let p = CommandProvider::new("Memory", "/sbin/sysinfo.exe -mem", reg);
+        let attrs = p.produce().unwrap();
+        let total: u64 = attrs
+            .iter()
+            .find(|(k, _)| k == "total")
+            .unwrap()
+            .1
+            .parse()
+            .unwrap();
+        assert_eq!(total, host.memory.total());
+        assert_eq!(p.keyword(), "Memory");
+        assert_eq!(p.source(), "/sbin/sysinfo.exe -mem");
+    }
+
+    #[test]
+    fn command_provider_failure_modes() {
+        let (_c, _host, reg) = world();
+        let unknown = CommandProvider::new("X", "/bin/nonexistent", Arc::clone(&reg));
+        assert!(matches!(
+            unknown.produce(),
+            Err(ProviderError::CommandFailed { .. })
+        ));
+        let failing = CommandProvider::new("X", "false", reg);
+        match failing.produce() {
+            Err(ProviderError::CommandFailed { detail, .. }) => {
+                assert!(detail.contains("exit code 1"))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn runtime_provider_load_tracks_model() {
+        let (clock, host, _reg) = world();
+        clock.advance(Duration::from_secs(45));
+        let p = RuntimeProvider::new("CPULoad", Arc::clone(&host), RuntimeFacet::Load);
+        let attrs = p.produce().unwrap();
+        let load: f64 = attrs
+            .iter()
+            .find(|(k, _)| k == "load")
+            .unwrap()
+            .1
+            .parse()
+            .unwrap();
+        assert!((load - host.cpu.current()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn runtime_provider_host_facet() {
+        let (_c, host, _reg) = world();
+        let p = RuntimeProvider::new("Host", host, RuntimeFacet::Host);
+        let attrs = p.produce().unwrap();
+        assert!(attrs
+            .iter()
+            .any(|(k, v)| k == "hostname" && v == "node00.grid.example.org"));
+        assert!(attrs.iter().any(|(k, _)| k == "cpus"));
+    }
+
+    #[test]
+    fn file_provider_proc_loadavg() {
+        let (clock, host, _reg) = world();
+        clock.advance(Duration::from_secs(10));
+        let p = FileProvider::new("LoadAvg", "/proc/loadavg", host);
+        let attrs = p.produce().unwrap();
+        // loadavg has no colon-separated pairs; whole content captured.
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(attrs[0].0, "content");
+        assert!(attrs[0].1.split_whitespace().count() >= 4);
+    }
+
+    #[test]
+    fn file_provider_meminfo_parses_pairs() {
+        let (_c, host, _reg) = world();
+        let p = FileProvider::new("MemInfo", "/proc/meminfo", host);
+        let attrs = p.produce().unwrap();
+        assert!(attrs.iter().any(|(k, _)| k == "MemTotal"));
+    }
+
+    #[test]
+    fn file_provider_missing() {
+        let (_c, host, _reg) = world();
+        let p = FileProvider::new("X", "/no/such/file", host);
+        assert!(matches!(
+            p.produce(),
+            Err(ProviderError::FileMissing { .. })
+        ));
+    }
+
+    #[test]
+    fn fn_provider() {
+        let p = FnProvider::new("Custom", || {
+            Ok(vec![("answer".to_string(), "42".to_string())])
+        });
+        assert_eq!(p.produce().unwrap()[0].1, "42");
+        let failing = FnProvider::new("Bad", || Err(ProviderError::Other("boom".to_string())));
+        assert!(failing.produce().is_err());
+    }
+}

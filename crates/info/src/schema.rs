@@ -1,0 +1,187 @@
+//! Service reflection: the `(info=schema)` answer.
+//!
+//! §6.5: "Each information service can be queried and a client may
+//! inspect the schema that is returned by the information service. Thus it
+//! will allow developers to design programs that can be flexible to the
+//! actually used information schema."
+//!
+//! The schema lists every configured keyword with its properties (TTL,
+//! delay, degradation function, source command, performance statistics)
+//! and — once the keyword has produced at least once — the attribute
+//! names it exposes.
+
+use crate::entry::SystemInformation;
+use crate::service::InformationService;
+use infogram_proto::record::InfoRecord;
+use std::sync::Arc;
+
+/// A reflective description of one keyword.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeywordSchema {
+    /// The keyword.
+    pub keyword: String,
+    /// Cache TTL in milliseconds.
+    pub ttl_ms: u128,
+    /// Update-throttle delay in milliseconds.
+    pub delay_ms: u128,
+    /// Degradation function name.
+    pub degradation: String,
+    /// Provider source (command line, file path, …).
+    pub source: String,
+    /// Attribute names observed on the last production, if any.
+    pub attributes: Option<Vec<String>>,
+    /// Performance catalog: (mean seconds, std-dev seconds, samples).
+    pub performance: (f64, f64, u64),
+}
+
+/// The whole service's schema.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    /// Per-keyword schemas, sorted by keyword.
+    pub keywords: Vec<KeywordSchema>,
+}
+
+impl Schema {
+    /// Reflect over a service.
+    pub fn of(service: &InformationService) -> Schema {
+        let mut keywords: Vec<KeywordSchema> =
+            service.entries().iter().map(Self::of_entry).collect();
+        keywords.sort_by(|a, b| a.keyword.cmp(&b.keyword));
+        Schema { keywords }
+    }
+
+    fn of_entry(si: &Arc<SystemInformation>) -> KeywordSchema {
+        let attributes = si
+            .last_state()
+            .ok()
+            .map(|snap| snap.attributes.iter().map(|(k, _)| k.clone()).collect());
+        KeywordSchema {
+            keyword: si.keyword().to_string(),
+            ttl_ms: si.ttl().as_millis(),
+            delay_ms: si.delay().as_millis(),
+            degradation: si.degradation().name().to_string(),
+            source: si.source(),
+            attributes,
+            performance: si.average_update_time(),
+        }
+    }
+
+    /// Render the schema as information records — "a hierarchical schema
+    /// that contains all objects associated with the keywords and lists
+    /// properties of their attributes" — so it travels through the same
+    /// formats as any other information.
+    pub fn to_records(&self, hostname: &str) -> Vec<InfoRecord> {
+        self.keywords
+            .iter()
+            .map(|k| {
+                let mut rec = InfoRecord::new(&format!("Schema.{}", k.keyword), hostname);
+                rec.push("keyword", &k.keyword);
+                rec.push("ttl_ms", &k.ttl_ms.to_string());
+                rec.push("delay_ms", &k.delay_ms.to_string());
+                rec.push("degradation", &k.degradation);
+                rec.push("source", &k.source);
+                match &k.attributes {
+                    Some(attrs) => {
+                        rec.push("attributes", &attrs.join(","));
+                    }
+                    None => {
+                        rec.push("attributes", "(not yet produced)");
+                    }
+                }
+                let (mean, std, n) = k.performance;
+                rec.push("perf.mean_seconds", &format!("{mean:.6}"));
+                rec.push("perf.std_seconds", &format!("{std:.6}"));
+                rec.push("perf.samples", &n.to_string());
+                rec
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServiceConfig;
+    use crate::service::QueryOptions;
+    use infogram_host::commands::{ChargeMode, CommandRegistry};
+    use infogram_host::machine::SimulatedHost;
+    use infogram_rsl::InfoSelector;
+    use infogram_sim::metrics::MetricSet;
+    use infogram_sim::ManualClock;
+    use std::sync::Arc;
+
+    fn service() -> Arc<InformationService> {
+        let clock = ManualClock::new();
+        let host = SimulatedHost::default_on(clock.clone());
+        let reg = CommandRegistry::new(host, ChargeMode::Advance(clock.clone()));
+        InformationService::from_config(
+            &ServiceConfig::table1(),
+            reg,
+            clock,
+            MetricSet::new(),
+        )
+    }
+
+    #[test]
+    fn schema_lists_all_keywords_with_properties() {
+        let svc = service();
+        let schema = Schema::of(&svc);
+        assert_eq!(schema.keywords.len(), 5);
+        let date = schema
+            .keywords
+            .iter()
+            .find(|k| k.keyword == "Date")
+            .unwrap();
+        assert_eq!(date.ttl_ms, 60);
+        assert_eq!(date.degradation, "binary");
+        assert_eq!(date.source, "date -u");
+        assert!(date.attributes.is_none(), "never produced yet");
+    }
+
+    #[test]
+    fn schema_learns_attributes_after_production() {
+        let svc = service();
+        svc.answer(
+            &[InfoSelector::Keyword("Memory".to_string())],
+            &QueryOptions::default(),
+        )
+        .unwrap();
+        let schema = Schema::of(&svc);
+        let mem = schema
+            .keywords
+            .iter()
+            .find(|k| k.keyword == "Memory")
+            .unwrap();
+        assert_eq!(
+            mem.attributes.as_deref(),
+            Some(&["total".to_string(), "used".to_string(), "free".to_string()][..])
+        );
+        assert_eq!(mem.performance.2, 1, "one sample recorded");
+    }
+
+    #[test]
+    fn schema_records_render() {
+        let svc = service();
+        let recs = Schema::of(&svc).to_records("node0");
+        assert_eq!(recs.len(), 5);
+        let cpuload = recs
+            .iter()
+            .find(|r| r.keyword == "Schema.CPULoad")
+            .unwrap();
+        assert_eq!(cpuload.get("ttl_ms").unwrap().value, "0");
+        assert_eq!(
+            cpuload.get("source").unwrap().value,
+            "/usr/local/bin/cpuload.exe"
+        );
+    }
+
+    #[test]
+    fn info_schema_selector_goes_through_answer() {
+        let svc = service();
+        let recs = svc
+            .answer(&[InfoSelector::Schema], &QueryOptions::default())
+            .unwrap();
+        assert_eq!(recs.len(), 5);
+        assert!(recs.iter().all(|r| r.keyword.starts_with("Schema.")));
+    }
+}

@@ -1,0 +1,516 @@
+//! The assembled information service.
+//!
+//! Holds the keyword registry ([`SystemInformation`] entries), answers
+//! selector lists with the xRSL response modes, applies the quality
+//! threshold and the attribute filter, and attaches the performance
+//! catalog when asked — §6.2–6.6 of the paper, in one object.
+
+use crate::config::ServiceConfig;
+use crate::entry::{QueryError, Snapshot, SystemInformation};
+use crate::provider::CommandProvider;
+use crate::schema::Schema;
+use infogram_host::commands::CommandRegistry;
+use infogram_proto::record::InfoRecord;
+use infogram_rsl::{InfoSelector, ResponseMode};
+use infogram_sim::clock::SharedClock;
+use infogram_sim::metrics::MetricSet;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Why a query could not be answered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InfoServiceError {
+    /// The keyword has no configured provider.
+    UnknownKeyword(String),
+    /// The provider layer failed.
+    Query(QueryError),
+}
+
+impl std::fmt::Display for InfoServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InfoServiceError::UnknownKeyword(k) => write!(f, "unknown keyword '{k}'"),
+            InfoServiceError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for InfoServiceError {}
+
+impl From<QueryError> for InfoServiceError {
+    fn from(e: QueryError) -> Self {
+        InfoServiceError::Query(e)
+    }
+}
+
+/// Options accompanying a query — the xRSL tags that shape the answer.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// `(response=...)`.
+    pub mode: ResponseMode,
+    /// `(quality=...)` threshold in percent.
+    pub quality_threshold: Option<f64>,
+    /// `(filter=...)` attribute filter.
+    pub filter: Option<String>,
+    /// `(performance=true)` — attach timing statistics.
+    pub performance: bool,
+}
+
+/// The information service of one host.
+pub struct InformationService {
+    hostname: String,
+    clock: SharedClock,
+    entries: RwLock<BTreeMap<String, Arc<SystemInformation>>>,
+    metrics: MetricSet,
+}
+
+impl std::fmt::Debug for InformationService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InformationService")
+            .field("hostname", &self.hostname)
+            .field("keywords", &self.keywords())
+            .finish_non_exhaustive()
+    }
+}
+
+impl InformationService {
+    /// An empty service for a host.
+    pub fn new(hostname: &str, clock: SharedClock, metrics: MetricSet) -> Arc<Self> {
+        Arc::new(InformationService {
+            hostname: hostname.to_string(),
+            clock,
+            entries: RwLock::new(BTreeMap::new()),
+            metrics,
+        })
+    }
+
+    /// Build a service from a configuration file (Table 1 style), wiring
+    /// every entry to a [`CommandProvider`] on the given registry.
+    pub fn from_config(
+        config: &ServiceConfig,
+        registry: Arc<CommandRegistry>,
+        clock: SharedClock,
+        metrics: MetricSet,
+    ) -> Arc<Self> {
+        let service =
+            InformationService::new(registry.host().hostname(), clock.clone(), metrics);
+        for entry in &config.entries {
+            let provider = CommandProvider::new(
+                &entry.keyword,
+                &entry.command,
+                Arc::clone(&registry),
+            );
+            let si = SystemInformation::new(
+                Box::new(provider),
+                clock.clone(),
+                entry.ttl,
+                entry.degradation.clone(),
+            );
+            si.set_delay(entry.delay);
+            service.register(si);
+        }
+        service
+    }
+
+    /// Register a keyword entry (replacing any same-keyword entry).
+    pub fn register(&self, si: Arc<SystemInformation>) {
+        self.entries
+            .write()
+            .insert(si.keyword().to_ascii_lowercase(), si);
+    }
+
+    /// Hostname this service describes.
+    pub fn hostname(&self) -> &str {
+        &self.hostname
+    }
+
+    /// The service's metric sink.
+    pub fn metrics(&self) -> &MetricSet {
+        &self.metrics
+    }
+
+    /// Configured keywords, in canonical case, sorted.
+    pub fn keywords(&self) -> Vec<String> {
+        self.entries
+            .read()
+            .values()
+            .map(|si| si.keyword().to_string())
+            .collect()
+    }
+
+    /// Look up a keyword case-insensitively.
+    pub fn lookup(&self, keyword: &str) -> Option<Arc<SystemInformation>> {
+        self.entries
+            .read()
+            .get(&keyword.to_ascii_lowercase())
+            .cloned()
+    }
+
+    /// All entries (for schema reflection and aggregation).
+    pub fn entries(&self) -> Vec<Arc<SystemInformation>> {
+        self.entries.read().values().cloned().collect()
+    }
+
+    /// Fetch one keyword's snapshot under a response mode and quality
+    /// threshold.
+    fn fetch(
+        &self,
+        si: &SystemInformation,
+        opts: &QueryOptions,
+    ) -> Result<Snapshot, QueryError> {
+        self.metrics.counter("info.queries").incr();
+        // §6.6 quality tag: "If the degradation function of any of its
+        // returned attributes is below that threshold, this attribute is
+        // regenerated by the associated command."
+        let quality_forces_refresh = match (opts.quality_threshold, opts.mode) {
+            (Some(threshold), ResponseMode::Cached) => match si.current_quality() {
+                Some(q) => q * 100.0 < threshold,
+                None => false, // nothing cached yet; normal path handles it
+            },
+            _ => false,
+        };
+        let snap = if quality_forces_refresh {
+            self.metrics.counter("info.quality_refreshes").incr();
+            si.update_state()?
+        } else {
+            match opts.mode {
+                ResponseMode::Immediate => si.update_state()?,
+                ResponseMode::Cached => si.cached_state()?,
+                ResponseMode::Last => si.last_state()?,
+            }
+        };
+        if snap.from_cache {
+            self.metrics.counter("info.cache_hits").incr();
+        } else {
+            self.metrics.counter("info.refreshes").incr();
+        }
+        Ok(snap)
+    }
+
+    /// Convert a snapshot into a wire record, annotating quality and age.
+    fn to_record(
+        &self,
+        si: &SystemInformation,
+        snap: &Snapshot,
+        opts: &QueryOptions,
+    ) -> InfoRecord {
+        let mut rec = InfoRecord::new(si.keyword(), &self.hostname);
+        let age = self.clock.now().since(snap.produced_at);
+        let quality = si.degradation().quality(age);
+        for (name, value) in &snap.attributes {
+            let attr = rec.push(name, value);
+            attr.quality = Some(quality);
+            attr.age_secs = Some(age.as_secs_f64());
+        }
+        if opts.performance {
+            // §6.6: "The performance tag returns the number of seconds and
+            // the standard deviation about how long it takes to obtain a
+            // particular information value."
+            let (mean, std, n) = si.average_update_time();
+            rec.push("perf.mean_seconds", &format!("{mean:.6}"));
+            rec.push("perf.std_seconds", &format!("{std:.6}"));
+            rec.push("perf.samples", &n.to_string());
+        }
+        rec
+    }
+
+    /// Answer a selector list. Unknown keywords fail the whole query with
+    /// [`InfoServiceError::UnknownKeyword`]; provider failures fail it
+    /// with the underlying error.
+    pub fn answer(
+        &self,
+        selectors: &[InfoSelector],
+        opts: &QueryOptions,
+    ) -> Result<Vec<InfoRecord>, InfoServiceError> {
+        let mut records = Vec::new();
+        for sel in selectors {
+            match sel {
+                InfoSelector::Schema => {
+                    records.extend(Schema::of(self).to_records(&self.hostname));
+                }
+                InfoSelector::All => {
+                    for si in self.entries() {
+                        let snap = self.fetch(&si, opts)?;
+                        records.push(self.to_record(&si, &snap, opts));
+                    }
+                }
+                InfoSelector::Keyword(k) => {
+                    let si = self
+                        .lookup(k)
+                        .ok_or_else(|| InfoServiceError::UnknownKeyword(k.clone()))?;
+                    let snap = self.fetch(&si, opts)?;
+                    records.push(self.to_record(&si, &snap, opts));
+                }
+            }
+        }
+        if let Some(filter) = &opts.filter {
+            for rec in &mut records {
+                rec.retain_matching(filter);
+            }
+            records.retain(|r| !r.attributes.is_empty());
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infogram_host::commands::{ChargeMode, CostModel};
+    use infogram_host::machine::SimulatedHost;
+    use infogram_sim::ManualClock;
+    use std::time::Duration;
+
+    fn table1_service() -> (
+        Arc<ManualClock>,
+        Arc<CommandRegistry>,
+        Arc<InformationService>,
+    ) {
+        let clock = ManualClock::new();
+        let host = SimulatedHost::default_on(clock.clone());
+        let reg = CommandRegistry::new(host, ChargeMode::Advance(clock.clone()));
+        let svc = InformationService::from_config(
+            &ServiceConfig::table1(),
+            Arc::clone(&reg),
+            clock.clone(),
+            MetricSet::new(),
+        );
+        (clock, reg, svc)
+    }
+
+    fn kw(k: &str) -> Vec<InfoSelector> {
+        vec![InfoSelector::Keyword(k.to_string())]
+    }
+
+    #[test]
+    fn table1_keywords_registered() {
+        let (_c, _r, svc) = table1_service();
+        assert_eq!(
+            svc.keywords(),
+            vec!["CPU", "CPULoad", "Date", "list", "Memory"]
+        );
+    }
+
+    #[test]
+    fn query_memory_returns_namespaced_attributes() {
+        let (_c, _r, svc) = table1_service();
+        let recs = svc.answer(&kw("Memory"), &QueryOptions::default()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].keyword, "Memory");
+        assert!(recs[0].get("Memory:total").is_some());
+        assert!(recs[0].get("Memory:free").is_some());
+    }
+
+    #[test]
+    fn keyword_lookup_case_insensitive() {
+        let (_c, _r, svc) = table1_service();
+        assert!(svc.answer(&kw("memory"), &QueryOptions::default()).is_ok());
+        assert!(svc.answer(&kw("MEMORY"), &QueryOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn unknown_keyword_rejected() {
+        let (_c, _r, svc) = table1_service();
+        match svc.answer(&kw("Bogus"), &QueryOptions::default()) {
+            Err(InfoServiceError::UnknownKeyword(k)) => assert_eq!(k, "Bogus"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn info_all_returns_every_keyword() {
+        let (_c, _r, svc) = table1_service();
+        let recs = svc
+            .answer(&[InfoSelector::All], &QueryOptions::default())
+            .unwrap();
+        assert_eq!(recs.len(), 5);
+    }
+
+    #[test]
+    fn concatenated_selectors_like_the_paper() {
+        // "(info=memory)(info=cpu)"
+        let (_c, _r, svc) = table1_service();
+        let recs = svc
+            .answer(
+                &[
+                    InfoSelector::Keyword("memory".to_string()),
+                    InfoSelector::Keyword("cpu".to_string()),
+                ],
+                &QueryOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].keyword, "Memory");
+        assert_eq!(recs[1].keyword, "CPU");
+    }
+
+    #[test]
+    fn cached_mode_serves_within_ttl() {
+        let (clock, _r, svc) = table1_service();
+        let opts = QueryOptions::default();
+        svc.answer(&kw("Memory"), &opts).unwrap(); // miss
+        let si = svc.lookup("Memory").unwrap();
+        assert_eq!(si.execution_count(), 1);
+        // Within the 80ms TTL (command costs advance the manual clock, so
+        // stay well under it).
+        svc.answer(&kw("Memory"), &opts).unwrap();
+        assert_eq!(si.execution_count(), 1, "served from cache");
+        clock.advance(Duration::from_millis(80));
+        svc.answer(&kw("Memory"), &opts).unwrap();
+        assert_eq!(si.execution_count(), 2, "expired → refreshed");
+    }
+
+    #[test]
+    fn cpuload_ttl_zero_always_executes() {
+        let (_c, reg, svc) = table1_service();
+        // Make the command cost zero so the clock does not advance and the
+        // effect is purely the TTL-0 rule.
+        reg.set_cost("cpuload", CostModel::Fixed(Duration::ZERO));
+        let opts = QueryOptions::default();
+        for _ in 0..3 {
+            svc.answer(&kw("CPULoad"), &opts).unwrap();
+        }
+        assert_eq!(svc.lookup("CPULoad").unwrap().execution_count(), 3);
+    }
+
+    #[test]
+    fn immediate_mode_always_refreshes() {
+        let (_c, _r, svc) = table1_service();
+        let opts = QueryOptions {
+            mode: ResponseMode::Immediate,
+            ..Default::default()
+        };
+        svc.answer(&kw("Memory"), &opts).unwrap();
+        svc.answer(&kw("Memory"), &opts).unwrap();
+        assert_eq!(svc.lookup("Memory").unwrap().execution_count(), 2);
+    }
+
+    #[test]
+    fn last_mode_never_refreshes() {
+        let (clock, _r, svc) = table1_service();
+        let cached = QueryOptions::default();
+        svc.answer(&kw("Memory"), &cached).unwrap();
+        clock.advance(Duration::from_secs(3600)); // far past TTL
+        let last = QueryOptions {
+            mode: ResponseMode::Last,
+            ..Default::default()
+        };
+        let recs = svc.answer(&kw("Memory"), &last).unwrap();
+        assert_eq!(svc.lookup("Memory").unwrap().execution_count(), 1);
+        // The age annotation shows how stale it is.
+        assert!(recs[0].attributes[0].age_secs.unwrap() >= 3600.0);
+        // And `last` before anything cached is an error.
+        match svc.answer(&kw("CPU"), &last) {
+            Err(InfoServiceError::Query(QueryError::NeverProduced)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn quality_threshold_forces_refresh() {
+        let (clock, _r, svc) = table1_service();
+        // Binary degradation over 80ms TTL; at age 40ms quality is 1.0,
+        // so threshold 50 does not refresh; threshold via linear would.
+        // Re-register Memory with linear degradation for a gradual curve.
+        let si = svc.lookup("Memory").unwrap();
+        let _ = si;
+        let reg_entry = SystemInformation::new(
+            Box::new(crate::provider::FnProvider::new("Memory", || {
+                Ok(vec![("total".to_string(), "1".to_string())])
+            })),
+            clock.clone(),
+            Duration::from_secs(100),
+            crate::quality::DegradationFn::Linear {
+                lifetime: Duration::from_secs(100),
+            },
+        );
+        svc.register(Arc::clone(&reg_entry));
+        let base = QueryOptions::default();
+        svc.answer(&kw("Memory"), &base).unwrap();
+        clock.advance(Duration::from_secs(30)); // quality now 0.7
+        let strict = QueryOptions {
+            quality_threshold: Some(90.0),
+            ..Default::default()
+        };
+        svc.answer(&kw("Memory"), &strict).unwrap();
+        assert_eq!(
+            reg_entry.execution_count(),
+            2,
+            "quality 70% < threshold 90% forces a refresh"
+        );
+        let lax = QueryOptions {
+            quality_threshold: Some(10.0),
+            ..Default::default()
+        };
+        svc.answer(&kw("Memory"), &lax).unwrap();
+        assert_eq!(reg_entry.execution_count(), 2, "fresh value passes");
+    }
+
+    #[test]
+    fn performance_tag_attaches_stats() {
+        let (_c, _r, svc) = table1_service();
+        let opts = QueryOptions {
+            performance: true,
+            ..Default::default()
+        };
+        let recs = svc.answer(&kw("Memory"), &opts).unwrap();
+        let mean: f64 = recs[0]
+            .get("perf.mean_seconds")
+            .unwrap()
+            .value
+            .parse()
+            .unwrap();
+        assert!(mean > 0.0, "command cost recorded");
+        assert_eq!(recs[0].get("perf.samples").unwrap().value, "1");
+    }
+
+    #[test]
+    fn filter_selects_attributes() {
+        let (_c, _r, svc) = table1_service();
+        let opts = QueryOptions {
+            filter: Some("Memory:free".to_string()),
+            ..Default::default()
+        };
+        let recs = svc.answer(&kw("Memory"), &opts).unwrap();
+        assert_eq!(recs[0].attributes.len(), 1);
+        assert_eq!(recs[0].attributes[0].name, "Memory:free");
+        // A filter matching nothing drops the record entirely.
+        let opts = QueryOptions {
+            filter: Some("Nothing:here".to_string()),
+            ..Default::default()
+        };
+        assert!(svc.answer(&kw("Memory"), &opts).unwrap().is_empty());
+    }
+
+    #[test]
+    fn quality_annotation_reflects_age() {
+        let (clock, _r, svc) = table1_service();
+        svc.answer(&kw("list"), &QueryOptions::default()).unwrap(); // ttl 1000ms binary
+        clock.advance(Duration::from_millis(500));
+        let last = QueryOptions {
+            mode: ResponseMode::Last,
+            ..Default::default()
+        };
+        let recs = svc.answer(&kw("list"), &last).unwrap();
+        assert_eq!(recs[0].attributes[0].quality, Some(1.0));
+        clock.advance(Duration::from_millis(600));
+        let recs = svc.answer(&kw("list"), &last).unwrap();
+        assert_eq!(
+            recs[0].attributes[0].quality,
+            Some(0.0),
+            "binary degradation flips at the 1000ms lifetime"
+        );
+    }
+
+    #[test]
+    fn metrics_count_hits_and_refreshes() {
+        let (_c, _r, svc) = table1_service();
+        let opts = QueryOptions::default();
+        svc.answer(&kw("Memory"), &opts).unwrap();
+        svc.answer(&kw("Memory"), &opts).unwrap();
+        assert_eq!(svc.metrics().counter_value("info.refreshes"), 1);
+        assert_eq!(svc.metrics().counter_value("info.cache_hits"), 1);
+        assert_eq!(svc.metrics().counter_value("info.queries"), 2);
+    }
+}

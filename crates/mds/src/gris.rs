@@ -1,0 +1,177 @@
+//! GRIS: the per-resource information provider front-end.
+//!
+//! §4: "Each compute resource has the Globus GRAM and the Globus Resource
+//! Information Service (GRIS) that returns information related to the
+//! local resource installed." Our GRIS publishes the records of an
+//! `infogram-info` [`InformationService`] into a directory subtree
+//! (`/o=Grid/hn=<host>/kw=<Keyword>`), refreshing through the same TTL
+//! cache, and answers LDAP-style searches against it.
+
+use crate::dit::{DirEntry, DirectoryTree, Scope};
+use crate::filter::Filter;
+use infogram_gsi::Dn;
+use infogram_info::service::{InformationService, QueryOptions};
+use infogram_rsl::InfoSelector;
+use std::sync::Arc;
+
+/// A GRIS over one host's information service.
+pub struct Gris {
+    info: Arc<InformationService>,
+    tree: DirectoryTree,
+    base: Dn,
+}
+
+impl std::fmt::Debug for Gris {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gris").field("base", &self.base).finish_non_exhaustive()
+    }
+}
+
+impl Gris {
+    /// A GRIS publishing `info` under `/o=Grid/hn=<hostname>`.
+    pub fn new(info: Arc<InformationService>) -> Arc<Self> {
+        let base = Dn::from_rdns(vec![
+            ("o".to_string(), "Grid".to_string()),
+            ("hn".to_string(), info.hostname().to_string()),
+        ])
+        .expect("hostname RDN valid");
+        Arc::new(Gris {
+            info,
+            tree: DirectoryTree::new(),
+            base,
+        })
+    }
+
+    /// The subtree base this GRIS publishes under.
+    pub fn base(&self) -> &Dn {
+        &self.base
+    }
+
+    /// The backing information service.
+    pub fn info_service(&self) -> &Arc<InformationService> {
+        &self.info
+    }
+
+    /// Refresh the directory subtree from the information service
+    /// (cached reads — the GRIS does not bypass the provider TTLs).
+    pub fn refresh(&self) {
+        let records = match self.info.answer(&[InfoSelector::All], &QueryOptions::default()) {
+            Ok(r) => r,
+            Err(_) => return, // a failing provider leaves stale entries
+        };
+        self.tree.remove_subtree(&self.base);
+        self.tree.put(DirEntry::new(
+            self.base.clone(),
+            vec![
+                ("objectclass".to_string(), "GridResource".to_string()),
+                ("hn".to_string(), self.info.hostname().to_string()),
+            ],
+        ));
+        for rec in records {
+            let dn = self.base.child("kw", &rec.keyword);
+            let mut attributes = vec![
+                ("objectclass".to_string(), "InfoGramProvider".to_string()),
+                ("kw".to_string(), rec.keyword.clone()),
+                ("hn".to_string(), rec.host.clone()),
+            ];
+            for a in &rec.attributes {
+                // LDAP attribute names cannot contain ':'; same mapping as
+                // the LDIF renderer.
+                attributes.push((a.name.replacen(':', "-", 1), a.value.clone()));
+            }
+            self.tree.put(DirEntry::new(dn, attributes));
+        }
+    }
+
+    /// Search the (refreshed) subtree.
+    pub fn search(&self, base: &Dn, scope: Scope, filter: &Filter) -> Vec<DirEntry> {
+        self.refresh();
+        self.tree.search(base, scope, filter)
+    }
+
+    /// Search from this GRIS's own base.
+    pub fn search_all(&self, filter: &Filter) -> Vec<DirEntry> {
+        self.search(&self.base.clone(), Scope::Sub, filter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infogram_host::commands::{ChargeMode, CommandRegistry};
+    use infogram_host::machine::SimulatedHost;
+    use infogram_info::config::ServiceConfig;
+    use infogram_sim::metrics::MetricSet;
+    use infogram_sim::ManualClock;
+
+    fn gris() -> (Arc<ManualClock>, Arc<Gris>) {
+        let clock = ManualClock::new();
+        let host = SimulatedHost::default_on(clock.clone());
+        let reg = CommandRegistry::new(host, ChargeMode::Advance(clock.clone()));
+        let info = InformationService::from_config(
+            &ServiceConfig::table1(),
+            reg,
+            clock.clone(),
+            MetricSet::new(),
+        );
+        (clock, Gris::new(info))
+    }
+
+    #[test]
+    fn publishes_keywords_as_subtree() {
+        let (_c, g) = gris();
+        let all = g.search_all(&Filter::everything());
+        // 1 host entry + 5 keyword entries.
+        assert_eq!(all.len(), 6);
+        let mem = all
+            .iter()
+            .find(|e| e.first("kw").as_deref() == Some("Memory"))
+            .unwrap();
+        assert!(mem.first("Memory-total").is_some());
+        assert_eq!(
+            mem.dn.to_string(),
+            "/o=Grid/hn=node00.grid.example.org/kw=Memory"
+        );
+    }
+
+    #[test]
+    fn ldap_filters_select_providers() {
+        let (_c, g) = gris();
+        let f = Filter::parse("(kw=CPU)").unwrap();
+        let found = g.search_all(&f);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].first("CPU-count").unwrap(), "4");
+    }
+
+    #[test]
+    fn numeric_filter_on_published_values() {
+        let (_c, g) = gris();
+        let f = Filter::parse("(Memory-total>=1)").unwrap();
+        assert_eq!(g.search_all(&f).len(), 1);
+        let f = Filter::parse("(Memory-total<=1)").unwrap();
+        assert!(g.search_all(&f).is_empty());
+    }
+
+    #[test]
+    fn refresh_respects_provider_cache() {
+        let (_c, g) = gris();
+        g.search_all(&Filter::everything());
+        g.search_all(&Filter::everything());
+        // Table 1 TTLs: within TTL the second refresh serves from cache
+        // (CPULoad has TTL 0 and always executes).
+        let info = g.info_service();
+        assert_eq!(info.lookup("Memory").unwrap().execution_count(), 1);
+        assert_eq!(info.lookup("CPULoad").unwrap().execution_count(), 2);
+    }
+
+    #[test]
+    fn scoped_search() {
+        let (_c, g) = gris();
+        g.refresh();
+        let base = g.base().clone();
+        let one = g.search(&base, Scope::One, &Filter::everything());
+        assert_eq!(one.len(), 5, "keyword entries are the children");
+        let base_only = g.search(&base, Scope::Base, &Filter::everything());
+        assert_eq!(base_only.len(), 1);
+    }
+}

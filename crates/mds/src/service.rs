@@ -1,0 +1,177 @@
+//! The network-facing MDS server.
+//!
+//! GSI-authenticated ("the newest implementation of a Grid information
+//! service ... integrates GSI to perform authentication", §3), then an
+//! LDAP-style search loop over the MDS protocol. Can front either a
+//! single GRIS or a GIIS aggregate.
+
+use crate::dit::{DirEntry, Scope};
+use crate::filter::Filter;
+use crate::giis::Giis;
+use crate::gris::Gris;
+use crate::protocol::{entries_to_text, MdsReply, MdsRequest};
+use infogram_gsi::{wire_server_respond, wire_server_verify, Certificate, Credential, Dn};
+use infogram_proto::transport::{Conn, Listener, ProtoError, Transport};
+use infogram_sim::clock::SharedClock;
+use infogram_sim::SplitMix64;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// What an MDS server fronts.
+#[derive(Clone)]
+pub enum Directory {
+    /// A single host's GRIS.
+    Gris(Arc<Gris>),
+    /// A virtual-organization GIIS.
+    Giis(Arc<Giis>),
+}
+
+impl Directory {
+    fn search(&self, base: &Dn, scope: Scope, filter: &Filter) -> Vec<DirEntry> {
+        match self {
+            Directory::Gris(g) => g.search(base, scope, filter),
+            Directory::Giis(g) => g.search(base, scope, filter),
+        }
+    }
+}
+
+/// A running MDS server.
+pub struct MdsServer {
+    directory: Directory,
+    credential: Credential,
+    trust_roots: Vec<Certificate>,
+    clock: SharedClock,
+    addr: String,
+    listener: Arc<Box<dyn Listener>>,
+    running: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for MdsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MdsServer").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
+impl MdsServer {
+    /// Bind and start serving.
+    pub fn start(
+        directory: Directory,
+        transport: &dyn Transport,
+        bind_addr: &str,
+        credential: Credential,
+        trust_roots: Vec<Certificate>,
+        clock: SharedClock,
+    ) -> Result<Arc<Self>, ProtoError> {
+        let listener: Arc<Box<dyn Listener>> = Arc::new(transport.listen(bind_addr)?);
+        let addr = listener.local_addr();
+        let server = Arc::new(MdsServer {
+            directory,
+            credential,
+            trust_roots,
+            clock,
+            addr,
+            listener: Arc::clone(&listener),
+            running: Arc::new(AtomicBool::new(true)),
+            accept_thread: Mutex::new(None),
+        });
+        let accept_server = Arc::clone(&server);
+        let handle = std::thread::spawn(move || {
+            while accept_server.running.load(Ordering::SeqCst) {
+                match accept_server.listener.accept() {
+                    Ok(conn) => {
+                        let conn: Arc<dyn Conn> = Arc::from(conn);
+                        let server = Arc::clone(&accept_server);
+                        std::thread::spawn(move || server.serve_connection(conn));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        *server.accept_thread.lock() = Some(handle);
+        Ok(server)
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Stop accepting.
+    pub fn shutdown(&self) {
+        self.running.store(false, Ordering::SeqCst);
+        self.listener.close();
+        if let Some(t) = self.accept_thread.lock().take() {
+            let _ = t.join();
+        }
+    }
+
+    fn serve_connection(&self, conn: Arc<dyn Conn>) {
+        // GSI bind.
+        let now = self.clock.now();
+        let mut rng = SplitMix64::new(now.as_nanos() ^ 0x4d45_5344);
+        let Ok(hello) = conn.recv() else { return };
+        let Ok((resp, pending)) =
+            wire_server_respond(&self.credential, &self.trust_roots, &hello, now, &mut rng)
+        else {
+            let _ = conn.send(
+                &MdsReply::Error {
+                    message: "bind failed: bad credentials".to_string(),
+                }
+                .encode(),
+            );
+            return;
+        };
+        if conn.send(&resp).is_err() {
+            return;
+        }
+        let Ok(fin) = conn.recv() else { return };
+        if wire_server_verify(&pending, &fin).is_err() {
+            let _ = conn.send(
+                &MdsReply::Error {
+                    message: "bind failed: bad proof".to_string(),
+                }
+                .encode(),
+            );
+            return;
+        }
+        let _ = conn.send(&MdsReply::SearchResult {
+            body: String::new(),
+            count: 0,
+        }
+        .encode()); // bind ack
+
+        // Search loop.
+        while let Ok(bytes) = conn.recv() {
+            let reply = match MdsRequest::decode(&bytes) {
+                Ok(MdsRequest::Unbind) => break,
+                Ok(MdsRequest::Search {
+                    base,
+                    scope,
+                    filter,
+                }) => match (Dn::parse(&base), Filter::parse(&filter)) {
+                    (Ok(base), Ok(filter)) => {
+                        let entries = self.directory.search(&base, scope, &filter);
+                        MdsReply::SearchResult {
+                            body: entries_to_text(&entries),
+                            count: entries.len() as u32,
+                        }
+                    }
+                    (Err(e), _) => MdsReply::Error {
+                        message: e.to_string(),
+                    },
+                    (_, Err(e)) => MdsReply::Error {
+                        message: e.to_string(),
+                    },
+                },
+                Err(e) => MdsReply::Error {
+                    message: e.to_string(),
+                },
+            };
+            if conn.send(&reply.encode()).is_err() {
+                break;
+            }
+        }
+    }
+}

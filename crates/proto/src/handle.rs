@@ -1,0 +1,176 @@
+//! Job contact handles.
+//!
+//! "To allow identification of the job, a job handle (often referred to
+//! GlobusID) is returned on job startup so that it can be used for later
+//! connection, including from other remote clients" (§2). A handle is a
+//! small URL naming the service endpoint, the job id, and the service
+//! epoch (restart generation — a restarted service can recognize handles
+//! it issued in a previous life).
+
+use std::fmt;
+
+/// URL scheme used by handles.
+pub const HANDLE_SCHEME: &str = "x-infogram";
+
+/// A job contact handle.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobHandle {
+    /// Service host name.
+    pub host: String,
+    /// Service port.
+    pub port: u16,
+    /// Job id unique within the epoch.
+    pub job_id: u64,
+    /// Service restart generation that issued the handle.
+    pub epoch: u64,
+}
+
+/// Error parsing a handle URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandleParseError {
+    /// Explanation.
+    pub reason: String,
+}
+
+impl fmt::Display for HandleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid job handle: {}", self.reason)
+    }
+}
+
+impl std::error::Error for HandleParseError {}
+
+impl JobHandle {
+    /// Construct a handle.
+    pub fn new(host: &str, port: u16, job_id: u64, epoch: u64) -> Self {
+        JobHandle {
+            host: host.to_string(),
+            port,
+            job_id,
+            epoch,
+        }
+    }
+
+    /// Parse the `x-infogram://host:port/jobid/epoch` form.
+    pub fn parse(s: &str) -> Result<Self, HandleParseError> {
+        let err = |reason: &str| HandleParseError {
+            reason: reason.to_string(),
+        };
+        let rest = s
+            .strip_prefix(HANDLE_SCHEME)
+            .and_then(|r| r.strip_prefix("://"))
+            .ok_or_else(|| err("missing scheme"))?;
+        let (authority, path) = rest.split_once('/').ok_or_else(|| err("missing path"))?;
+        let (host, port_str) = authority
+            .rsplit_once(':')
+            .ok_or_else(|| err("missing port"))?;
+        if host.is_empty() {
+            return Err(err("empty host"));
+        }
+        let port: u16 = port_str.parse().map_err(|_| err("bad port"))?;
+        let (job_str, epoch_str) = path.split_once('/').ok_or_else(|| err("missing epoch"))?;
+        let job_id: u64 = job_str.parse().map_err(|_| err("bad job id"))?;
+        let epoch: u64 = epoch_str.parse().map_err(|_| err("bad epoch"))?;
+        Ok(JobHandle {
+            host: host.to_string(),
+            port,
+            job_id,
+            epoch,
+        })
+    }
+
+    /// The `host:port` endpoint string.
+    pub fn endpoint(&self) -> String {
+        format!("{}:{}", self.host, self.port)
+    }
+}
+
+impl fmt::Display for JobHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{HANDLE_SCHEME}://{}:{}/{}/{}",
+            self.host, self.port, self.job_id, self.epoch
+        )
+    }
+}
+
+impl std::str::FromStr for JobHandle {
+    type Err = HandleParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        JobHandle::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let h = JobHandle::new("gatekeeper.anl.gov", 2119, 42, 7);
+        let s = h.to_string();
+        assert_eq!(s, "x-infogram://gatekeeper.anl.gov:2119/42/7");
+        assert_eq!(JobHandle::parse(&s).unwrap(), h);
+        assert_eq!(h.endpoint(), "gatekeeper.anl.gov:2119");
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "",
+            "https://host:1/2/3",
+            "x-infogram://host/1/2",
+            "x-infogram://host:abc/1/2",
+            "x-infogram://host:1/xyz/2",
+            "x-infogram://host:1/2",
+            "x-infogram://:1/2/3",
+            "x-infogram://host:1/2/three",
+        ] {
+            assert!(JobHandle::parse(bad).is_err(), "'{bad}' should fail");
+        }
+    }
+
+    #[test]
+    fn fromstr() {
+        let h: JobHandle = "x-infogram://h:1/2/3".parse().unwrap();
+        assert_eq!(h.job_id, 2);
+        assert_eq!(h.epoch, 3);
+    }
+
+    #[test]
+    fn handles_hashable() {
+        use std::collections::HashSet;
+        let a = JobHandle::new("h", 1, 1, 1);
+        let b = JobHandle::new("h", 1, 1, 1);
+        let c = JobHandle::new("h", 1, 2, 1);
+        let set: HashSet<JobHandle> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Display → parse is the identity for any well-formed handle.
+        #[test]
+        fn handle_roundtrip(
+            host in "[a-z][a-z0-9.-]{0,20}",
+            port in any::<u16>(),
+            job_id in any::<u64>(),
+            epoch in any::<u64>(),
+        ) {
+            let h = JobHandle::new(&host, port, job_id, epoch);
+            prop_assert_eq!(JobHandle::parse(&h.to_string()).unwrap(), h);
+        }
+
+        /// Parsing never panics on arbitrary input.
+        #[test]
+        fn parse_total(s in "\\PC{0,64}") {
+            let _ = JobHandle::parse(&s);
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! Protocol messages and their binary encoding.
+//!
+//! The vocabulary is GRAMP-shaped (§2 of the paper): submit / status /
+//! cancel / callback registration, plus asynchronous status events. The
+//! unification trick of InfoGram is that *information queries are ordinary
+//! submits* — the RSL inside carries `(info=...)` instead of
+//! `(executable=...)`, and the reply is an [`Reply::InfoResult`] instead
+//! of a job handle. One protocol, two behaviours.
+
+use crate::handle::JobHandle;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Protocol version carried in every request.
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// GRAM-flavoured error codes.
+pub mod codes {
+    /// Malformed request or RSL.
+    pub const BAD_RSL: u32 = 1;
+    /// Authentication failed.
+    pub const AUTHENTICATION: u32 = 7;
+    /// Authorization (gridmap / contract) denied.
+    pub const AUTHORIZATION: u32 = 8;
+    /// No such job.
+    pub const NO_SUCH_JOB: u32 = 12;
+    /// Unknown information keyword.
+    pub const NO_SUCH_KEYWORD: u32 = 31;
+    /// The request combined job and info halves.
+    pub const AMBIGUOUS_REQUEST: u32 = 33;
+    /// Executable not found / backend failure.
+    pub const EXECUTION_FAILED: u32 = 17;
+    /// The job hit its `(timeout=...)` with `(action=exception)`.
+    pub const TIMEOUT_EXCEPTION: u32 = 24;
+    /// Internal service error.
+    pub const INTERNAL: u32 = 99;
+    /// The service does not serve this request type (e.g. info query to a
+    /// plain GRAM).
+    pub const UNSUPPORTED: u32 = 40;
+}
+
+/// Client → service messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit an xRSL specification — a job, an info query, or (in a
+    /// multi-request) several. `credential` names the authenticated
+    /// security context established at connect time.
+    Submit {
+        /// The xRSL text.
+        rsl: String,
+        /// Whether the client wants asynchronous [`Reply::Event`]s.
+        callback: bool,
+    },
+    /// Poll a job's status.
+    Status {
+        /// The job contact handle.
+        handle: JobHandle,
+    },
+    /// Cancel a job.
+    Cancel {
+        /// The job contact handle.
+        handle: JobHandle,
+    },
+    /// Liveness probe.
+    Ping,
+}
+
+/// Job lifecycle states on the wire (mirrors GRAM's job states).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStateCode {
+    /// Accepted, waiting for resources.
+    Pending,
+    /// Running.
+    Active,
+    /// Temporarily suspended.
+    Suspended,
+    /// Finished successfully.
+    Done,
+    /// Finished unsuccessfully.
+    Failed,
+    /// Cancelled by request.
+    Canceled,
+}
+
+impl JobStateCode {
+    /// Whether this is a terminal state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobStateCode::Done | JobStateCode::Failed | JobStateCode::Canceled
+        )
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            JobStateCode::Pending => 0,
+            JobStateCode::Active => 1,
+            JobStateCode::Suspended => 2,
+            JobStateCode::Done => 3,
+            JobStateCode::Failed => 4,
+            JobStateCode::Canceled => 5,
+        }
+    }
+
+    /// Parse the display name back into a state (`"DONE"` → `Done`).
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "PENDING" => JobStateCode::Pending,
+            "ACTIVE" => JobStateCode::Active,
+            "SUSPENDED" => JobStateCode::Suspended,
+            "DONE" => JobStateCode::Done,
+            "FAILED" => JobStateCode::Failed,
+            "CANCELED" => JobStateCode::Canceled,
+            _ => return None,
+        })
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => JobStateCode::Pending,
+            1 => JobStateCode::Active,
+            2 => JobStateCode::Suspended,
+            3 => JobStateCode::Done,
+            4 => JobStateCode::Failed,
+            5 => JobStateCode::Canceled,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for JobStateCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            JobStateCode::Pending => "PENDING",
+            JobStateCode::Active => "ACTIVE",
+            JobStateCode::Suspended => "SUSPENDED",
+            JobStateCode::Done => "DONE",
+            JobStateCode::Failed => "FAILED",
+            JobStateCode::Canceled => "CANCELED",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Service → client messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// A job was accepted; here is its contact handle.
+    JobAccepted {
+        /// The contact handle (GlobusID).
+        handle: JobHandle,
+    },
+    /// Current job status.
+    JobStatus {
+        /// Which job.
+        handle: JobHandle,
+        /// Its state.
+        state: JobStateCode,
+        /// Exit code, once terminal.
+        exit_code: Option<i32>,
+        /// Captured stdout, once terminal (truncated server-side).
+        output: String,
+    },
+    /// An information query result: the rendered body.
+    InfoResult {
+        /// Rendered records (LDIF/XML/plain, per the request's format tag).
+        body: String,
+        /// Number of records in the body.
+        record_count: u32,
+    },
+    /// Asynchronous job state change (callback delivery).
+    Event {
+        /// Which job.
+        handle: JobHandle,
+        /// New state.
+        state: JobStateCode,
+    },
+    /// Something went wrong.
+    Error {
+        /// A [`codes`] value.
+        code: u32,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// Liveness response.
+    Pong,
+}
+
+/// A message failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Explanation.
+    pub reason: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(reason: &str) -> WireError {
+    WireError {
+        reason: reason.to_string(),
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, WireError> {
+    if buf.remaining() < 4 {
+        return Err(err("truncated string length"));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(err("truncated string body"));
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| err("invalid utf-8"))
+}
+
+fn put_handle(buf: &mut BytesMut, h: &JobHandle) {
+    put_str(buf, &h.to_string());
+}
+
+fn get_handle(buf: &mut Bytes) -> Result<JobHandle, WireError> {
+    let s = get_str(buf)?;
+    JobHandle::parse(&s).map_err(|e| err(&e.to_string()))
+}
+
+impl Request {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(PROTOCOL_VERSION);
+        match self {
+            Request::Submit { rsl, callback } => {
+                buf.put_u8(0);
+                put_str(&mut buf, rsl);
+                buf.put_u8(u8::from(*callback));
+            }
+            Request::Status { handle } => {
+                buf.put_u8(1);
+                put_handle(&mut buf, handle);
+            }
+            Request::Cancel { handle } => {
+                buf.put_u8(2);
+                put_handle(&mut buf, handle);
+            }
+            Request::Ping => buf.put_u8(3),
+        }
+        buf.to_vec()
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Request, WireError> {
+        let mut buf = Bytes::copy_from_slice(bytes);
+        if buf.remaining() < 2 {
+            return Err(err("truncated request"));
+        }
+        let version = buf.get_u8();
+        if version != PROTOCOL_VERSION {
+            return Err(err(&format!("unsupported protocol version {version}")));
+        }
+        let tag = buf.get_u8();
+        let req = match tag {
+            0 => Request::Submit {
+                rsl: get_str(&mut buf)?,
+                callback: {
+                    if buf.remaining() < 1 {
+                        return Err(err("truncated callback flag"));
+                    }
+                    buf.get_u8() != 0
+                },
+            },
+            1 => Request::Status {
+                handle: get_handle(&mut buf)?,
+            },
+            2 => Request::Cancel {
+                handle: get_handle(&mut buf)?,
+            },
+            3 => Request::Ping,
+            other => return Err(err(&format!("unknown request tag {other}"))),
+        };
+        if buf.has_remaining() {
+            return Err(err("trailing bytes in request"));
+        }
+        Ok(req)
+    }
+}
+
+impl Reply {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(PROTOCOL_VERSION);
+        match self {
+            Reply::JobAccepted { handle } => {
+                buf.put_u8(0);
+                put_handle(&mut buf, handle);
+            }
+            Reply::JobStatus {
+                handle,
+                state,
+                exit_code,
+                output,
+            } => {
+                buf.put_u8(1);
+                put_handle(&mut buf, handle);
+                buf.put_u8(state.to_u8());
+                match exit_code {
+                    Some(c) => {
+                        buf.put_u8(1);
+                        buf.put_i32(*c);
+                    }
+                    None => buf.put_u8(0),
+                }
+                put_str(&mut buf, output);
+            }
+            Reply::InfoResult { body, record_count } => {
+                buf.put_u8(2);
+                put_str(&mut buf, body);
+                buf.put_u32(*record_count);
+            }
+            Reply::Event { handle, state } => {
+                buf.put_u8(3);
+                put_handle(&mut buf, handle);
+                buf.put_u8(state.to_u8());
+            }
+            Reply::Error { code, message } => {
+                buf.put_u8(4);
+                buf.put_u32(*code);
+                put_str(&mut buf, message);
+            }
+            Reply::Pong => buf.put_u8(5),
+        }
+        buf.to_vec()
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Reply, WireError> {
+        let mut buf = Bytes::copy_from_slice(bytes);
+        if buf.remaining() < 2 {
+            return Err(err("truncated reply"));
+        }
+        let version = buf.get_u8();
+        if version != PROTOCOL_VERSION {
+            return Err(err(&format!("unsupported protocol version {version}")));
+        }
+        let tag = buf.get_u8();
+        let reply = match tag {
+            0 => Reply::JobAccepted {
+                handle: get_handle(&mut buf)?,
+            },
+            1 => {
+                let handle = get_handle(&mut buf)?;
+                if buf.remaining() < 2 {
+                    return Err(err("truncated status"));
+                }
+                let state = JobStateCode::from_u8(buf.get_u8())
+                    .ok_or_else(|| err("bad job state"))?;
+                let exit_code = match buf.get_u8() {
+                    0 => None,
+                    1 => {
+                        if buf.remaining() < 4 {
+                            return Err(err("truncated exit code"));
+                        }
+                        Some(buf.get_i32())
+                    }
+                    _ => return Err(err("bad exit-code flag")),
+                };
+                let output = get_str(&mut buf)?;
+                Reply::JobStatus {
+                    handle,
+                    state,
+                    exit_code,
+                    output,
+                }
+            }
+            2 => {
+                let body = get_str(&mut buf)?;
+                if buf.remaining() < 4 {
+                    return Err(err("truncated record count"));
+                }
+                Reply::InfoResult {
+                    body,
+                    record_count: buf.get_u32(),
+                }
+            }
+            3 => {
+                let handle = get_handle(&mut buf)?;
+                if buf.remaining() < 1 {
+                    return Err(err("truncated event"));
+                }
+                let state = JobStateCode::from_u8(buf.get_u8())
+                    .ok_or_else(|| err("bad job state"))?;
+                Reply::Event { handle, state }
+            }
+            4 => {
+                if buf.remaining() < 4 {
+                    return Err(err("truncated error code"));
+                }
+                let code = buf.get_u32();
+                Reply::Error {
+                    code,
+                    message: get_str(&mut buf)?,
+                }
+            }
+            5 => Reply::Pong,
+            other => return Err(err(&format!("unknown reply tag {other}"))),
+        };
+        if buf.has_remaining() {
+            return Err(err("trailing bytes in reply"));
+        }
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handle() -> JobHandle {
+        JobHandle::new("gk.anl.gov", 2119, 17, 3)
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let reqs = [
+            Request::Submit {
+                rsl: "&(executable=/bin/date)(arguments=-u)".to_string(),
+                callback: true,
+            },
+            Request::Submit {
+                rsl: "(info=memory)(info=cpu)".to_string(),
+                callback: false,
+            },
+            Request::Status { handle: handle() },
+            Request::Cancel { handle: handle() },
+            Request::Ping,
+        ];
+        for r in reqs {
+            let decoded = Request::decode(&r.encode()).unwrap();
+            assert_eq!(decoded, r);
+        }
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        let replies = [
+            Reply::JobAccepted { handle: handle() },
+            Reply::JobStatus {
+                handle: handle(),
+                state: JobStateCode::Active,
+                exit_code: None,
+                output: String::new(),
+            },
+            Reply::JobStatus {
+                handle: handle(),
+                state: JobStateCode::Done,
+                exit_code: Some(0),
+                output: "value: ok\n".to_string(),
+            },
+            Reply::InfoResult {
+                body: "dn: kw=Memory\nMemory-total: 42\n".to_string(),
+                record_count: 1,
+            },
+            Reply::Event {
+                handle: handle(),
+                state: JobStateCode::Failed,
+            },
+            Reply::Error {
+                code: codes::AUTHORIZATION,
+                message: "no gridmap entry".to_string(),
+            },
+            Reply::Pong,
+        ];
+        for r in replies {
+            let decoded = Reply::decode(&r.encode()).unwrap();
+            assert_eq!(decoded, r);
+        }
+    }
+
+    #[test]
+    fn state_name_roundtrip() {
+        for state in [
+            JobStateCode::Pending,
+            JobStateCode::Active,
+            JobStateCode::Suspended,
+            JobStateCode::Done,
+            JobStateCode::Failed,
+            JobStateCode::Canceled,
+        ] {
+            assert_eq!(JobStateCode::from_name(&state.to_string()), Some(state));
+        }
+        assert_eq!(JobStateCode::from_name("DANCING"), None);
+    }
+
+    #[test]
+    fn terminal_states() {
+        assert!(JobStateCode::Done.is_terminal());
+        assert!(JobStateCode::Failed.is_terminal());
+        assert!(JobStateCode::Canceled.is_terminal());
+        assert!(!JobStateCode::Pending.is_terminal());
+        assert!(!JobStateCode::Active.is_terminal());
+        assert!(!JobStateCode::Suspended.is_terminal());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[PROTOCOL_VERSION]).is_err());
+        assert!(Request::decode(&[PROTOCOL_VERSION, 99]).is_err());
+        assert!(Reply::decode(&[PROTOCOL_VERSION, 99]).is_err());
+        // Wrong version.
+        assert!(Request::decode(&[PROTOCOL_VERSION + 1, 3]).is_err());
+        // Trailing bytes.
+        let mut bytes = Request::Ping.encode();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncations() {
+        let full = Request::Submit {
+            rsl: "(info=all)".to_string(),
+            callback: true,
+        }
+        .encode();
+        for cut in 1..full.len() {
+            assert!(
+                Request::decode(&full[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn unicode_rsl_survives() {
+        let r = Request::Submit {
+            rsl: "(arguments=\"grüße 世界\")".to_string(),
+            callback: false,
+        };
+        assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn decode_never_panics_on_noise(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+            let _ = Request::decode(&bytes);
+            let _ = Reply::decode(&bytes);
+        }
+
+        #[test]
+        fn submit_roundtrip(rsl in "\\PC{0,64}", callback in any::<bool>()) {
+            let r = Request::Submit { rsl, callback };
+            prop_assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+        }
+
+        #[test]
+        fn error_roundtrip(code in any::<u32>(), message in "\\PC{0,64}") {
+            let r = Reply::Error { code, message };
+            prop_assert_eq!(Reply::decode(&r.encode()).unwrap(), r);
+        }
+    }
+}

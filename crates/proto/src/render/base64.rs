@@ -1,0 +1,125 @@
+//! Minimal base64 (RFC 4648, standard alphabet, with padding).
+//!
+//! LDIF requires values that start with space/colon/'<', or contain
+//! newlines or non-ASCII bytes, to be base64-encoded (`attr:: ...`).
+//! Written from scratch to stay within the approved dependency list.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode bytes as base64.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        if chunk.len() > 1 {
+            out.push(ALPHABET[(n >> 6) as usize & 63] as char);
+        } else {
+            out.push('=');
+        }
+        if chunk.len() > 2 {
+            out.push(ALPHABET[n as usize & 63] as char);
+        } else {
+            out.push('=');
+        }
+    }
+    out
+}
+
+/// Decode base64; `None` on malformed input.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    fn val(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some((c - b'A') as u32),
+            b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+            b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    }
+    let s = s.trim();
+    if !s.len().is_multiple_of(4) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 4 * 3);
+    let bytes = s.as_bytes();
+    let n_chunks = bytes.len() / 4;
+    for (ci, chunk) in bytes.chunks(4).enumerate() {
+        let pad = chunk.iter().filter(|&&c| c == b'=').count();
+        // Padding may only appear in the final chunk, last 1–2 positions.
+        if pad > 2 || (pad > 0 && ci + 1 != n_chunks) {
+            return None;
+        }
+        if chunk[..4 - pad].contains(&b'=') {
+            return None;
+        }
+        let mut n: u32 = 0;
+        for (i, &c) in chunk.iter().enumerate() {
+            let v = if c == b'=' { 0 } else { val(c)? };
+            n |= v << (18 - 6 * i);
+        }
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn decode_vectors() {
+        assert_eq!(decode("Zm9vYmFy").unwrap(), b"foobar");
+        assert_eq!(decode("Zg==").unwrap(), b"f");
+        assert_eq!(decode("").unwrap(), b"");
+    }
+
+    #[test]
+    fn reject_malformed() {
+        assert!(decode("abc").is_none()); // bad length
+        assert!(decode("ab!d").is_none()); // bad character
+        assert!(decode("=abc").is_none()); // misplaced padding
+        assert!(decode("a===").is_none()); // too much padding
+    }
+
+    #[test]
+    fn roundtrip_binary() {
+        let data: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(data in prop::collection::vec(any::<u8>(), 0..256)) {
+            prop_assert_eq!(decode(&encode(&data)).unwrap(), data);
+        }
+    }
+}

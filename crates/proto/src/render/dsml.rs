@@ -1,0 +1,167 @@
+//! DSML rendering.
+//!
+//! §6.6: "Nevertheless, it is straightforward to support other formats
+//! such as DSML." The Directory Services Markup Language (v1) expresses
+//! LDAP directory entries in XML; records render as:
+//!
+//! ```xml
+//! <dsml>
+//!  <directory-entries>
+//!   <entry dn="kw=Memory, hn=node0, o=Grid">
+//!    <objectclass><oc-value>InfoGramProvider</oc-value></objectclass>
+//!    <attr name="Memory-total"><value>4294967296</value></attr>
+//!   </entry>
+//!  </directory-entries>
+//! </dsml>
+//! ```
+//!
+//! Attribute names follow the LDAP-safe convention of the LDIF renderer
+//! (`Memory:total` → `Memory-total`), so a DSML consumer sees the same
+//! names an LDAP consumer would.
+
+use super::xml::{escape, unescape};
+use crate::record::{Attribute, InfoRecord};
+
+/// Render records as a DSML v1 document.
+pub fn render(records: &[InfoRecord]) -> String {
+    let mut out = String::from("<dsml>\n <directory-entries>\n");
+    for rec in records {
+        out.push_str(&format!(
+            "  <entry dn=\"kw={}, hn={}, o=Grid\">\n",
+            escape(&rec.keyword),
+            escape(&rec.host)
+        ));
+        out.push_str(
+            "   <objectclass><oc-value>InfoGramProvider</oc-value></objectclass>\n",
+        );
+        for a in &rec.attributes {
+            let name = a.name.replacen(':', "-", 1);
+            out.push_str(&format!("   <attr name=\"{}\">", escape(&name)));
+            out.push_str(&format!("<value>{}</value>", escape(&a.value)));
+            if let Some(q) = a.quality {
+                out.push_str(&format!("<quality>{q:.4}</quality>"));
+            }
+            if let Some(age) = a.age_secs {
+                out.push_str(&format!("<age>{age:.3}</age>"));
+            }
+            out.push_str("</attr>\n");
+        }
+        out.push_str("  </entry>\n");
+    }
+    out.push_str(" </directory-entries>\n</dsml>\n");
+    out
+}
+
+/// Parse documents produced by [`render`] (purpose-built scanner for
+/// round-trip tests and the format-equivalence experiment).
+pub fn parse(text: &str) -> Vec<InfoRecord> {
+    let mut records = Vec::new();
+    let mut current: Option<InfoRecord> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("<entry dn=\"") {
+            if let Some(e) = current.take() {
+                records.push(e);
+            }
+            let Some(dn_end) = rest.find('"') else { continue };
+            let dn = unescape(&rest[..dn_end]);
+            let mut keyword = String::new();
+            let mut host = String::new();
+            for part in dn.split(',') {
+                let part = part.trim();
+                if let Some(k) = part.strip_prefix("kw=") {
+                    keyword = k.to_string();
+                } else if let Some(h) = part.strip_prefix("hn=") {
+                    host = h.to_string();
+                }
+            }
+            current = Some(InfoRecord::new(&keyword, &host));
+        } else if line == "</entry>" {
+            if let Some(e) = current.take() {
+                records.push(e);
+            }
+        } else if let Some(rest) = line.strip_prefix("<attr name=\"") {
+            let Some(rec) = current.as_mut() else { continue };
+            let Some(name_end) = rest.find('"') else { continue };
+            let raw_name = unescape(&rest[..name_end]);
+            let keyword = rec.keyword.clone();
+            let name = match raw_name.strip_prefix(&format!("{keyword}-")) {
+                Some(r) => format!("{keyword}:{r}"),
+                None => raw_name,
+            };
+            let field = |tag: &str| -> Option<String> {
+                let open = format!("<{tag}>");
+                let close = format!("</{tag}>");
+                let start = rest.find(&open)? + open.len();
+                let end = rest[start..].find(&close)? + start;
+                Some(unescape(&rest[start..end]))
+            };
+            let value = field("value").unwrap_or_default();
+            let mut attr = Attribute::new(&name, &value);
+            attr.quality = field("quality").and_then(|q| q.parse().ok());
+            attr.age_secs = field("age").and_then(|a| a.parse().ok());
+            rec.attributes.push(attr);
+        }
+    }
+    if let Some(e) = current.take() {
+        records.push(e);
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<InfoRecord> {
+        let mut m = InfoRecord::new("Memory", "node0.grid");
+        m.push("total", "4294967296").quality = Some(0.9);
+        m.push("free", "1073741824").age_secs = Some(2.5);
+        let mut c = InfoRecord::new("CPU", "node0.grid");
+        c.push("count", "4");
+        vec![m, c]
+    }
+
+    #[test]
+    fn render_shape() {
+        let out = render(&sample());
+        assert!(out.starts_with("<dsml>"));
+        assert!(out.trim_end().ends_with("</dsml>"));
+        assert!(out.contains("<entry dn=\"kw=Memory, hn=node0.grid, o=Grid\">"));
+        assert!(out.contains("<attr name=\"Memory-total\">"));
+        assert!(out.contains("<value>4294967296</value>"));
+        assert!(out.contains("<quality>0.9000</quality>"));
+        assert!(out.contains("<age>2.500</age>"));
+        assert!(out.contains("<oc-value>InfoGramProvider</oc-value>"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = sample();
+        let parsed = parse(&render(&records));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].keyword, "Memory");
+        assert_eq!(parsed[0].get("total").unwrap().value, "4294967296");
+        assert_eq!(parsed[0].get("total").unwrap().quality, Some(0.9));
+        assert_eq!(parsed[0].get("free").unwrap().age_secs, Some(2.5));
+        // Namespaced names restored.
+        assert_eq!(parsed[0].attributes[0].name, "Memory:total");
+        assert_eq!(parsed[1].get("count").unwrap().value, "4");
+    }
+
+    #[test]
+    fn hostile_values_escaped() {
+        let mut r = InfoRecord::new("X", "h");
+        r.push("attr", "<value>&\"'</value>");
+        let out = render(&[r]);
+        assert!(!out.contains("<value><value>"));
+        let parsed = parse(&out);
+        assert_eq!(parsed[0].get("attr").unwrap().value, "<value>&\"'</value>");
+    }
+
+    #[test]
+    fn empty_document() {
+        let out = render(&[]);
+        assert!(parse(&out).is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! LDIF rendering — the MDS-compatible output format.
+//!
+//! Each information record becomes one LDIF entry whose DN mirrors the
+//! MDS 2.0 convention (`kw=<Keyword>, hn=<host>, o=Grid`). Because LDIF
+//! attribute names cannot contain `:`, the namespace separator of
+//! `Memory:total` is rendered as `Memory-total` and restored on parse
+//! (the keyword is known from the DN). Values that LDIF cannot carry
+//! verbatim (leading space/colon/'<', embedded newlines, non-ASCII) are
+//! base64-encoded with the `attr::` form. Quality and age annotations are
+//! emitted as `;quality` / `;age` companion options.
+
+use super::base64;
+use crate::record::{Attribute, InfoRecord};
+
+/// Whether an LDIF value must be base64-encoded.
+fn needs_base64(v: &str) -> bool {
+    v.starts_with(' ')
+        || v.starts_with(':')
+        || v.starts_with('<')
+        || v.ends_with(' ')
+        || v.bytes().any(|b| b == b'\n' || b == b'\r' || b == 0 || b > 126)
+}
+
+fn push_attr(out: &mut String, name: &str, value: &str) {
+    if needs_base64(value) {
+        out.push_str(name);
+        out.push_str(":: ");
+        out.push_str(&base64::encode(value.as_bytes()));
+    } else {
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+    }
+    out.push('\n');
+}
+
+/// `Memory:total` → `Memory-total` (LDIF-safe).
+fn ldif_name(name: &str) -> String {
+    name.replacen(':', "-", 1)
+}
+
+/// `Memory-total` → `Memory:total`, given the record's keyword.
+fn restore_name(name: &str, keyword: &str) -> String {
+    match name.strip_prefix(&format!("{keyword}-")) {
+        Some(rest) => format!("{keyword}:{rest}"),
+        None => name.to_string(),
+    }
+}
+
+/// Render records as LDIF entries separated by blank lines.
+pub fn render(records: &[InfoRecord]) -> String {
+    let mut out = String::new();
+    for (i, rec) in records.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        push_attr(
+            &mut out,
+            "dn",
+            &format!("kw={}, hn={}, o=Grid", rec.keyword, rec.host),
+        );
+        push_attr(&mut out, "objectclass", "InfoGramProvider");
+        for a in &rec.attributes {
+            let name = ldif_name(&a.name);
+            push_attr(&mut out, &name, &a.value);
+            if let Some(q) = a.quality {
+                push_attr(&mut out, &format!("{name};quality"), &format!("{q:.4}"));
+            }
+            if let Some(age) = a.age_secs {
+                push_attr(&mut out, &format!("{name};age"), &format!("{age:.3}"));
+            }
+        }
+    }
+    out
+}
+
+/// Parse LDIF produced by [`render`] back into records (tests and the
+/// MDS-equivalence experiment E12 use this).
+pub fn parse(text: &str) -> Vec<InfoRecord> {
+    let mut records = Vec::new();
+    let mut current: Option<InfoRecord> = None;
+    for line in text.lines() {
+        if line.is_empty() {
+            if let Some(rec) = current.take() {
+                records.push(rec);
+            }
+            continue;
+        }
+        let Some((raw_name, rest)) = line.split_once(':') else {
+            continue;
+        };
+        let value = if let Some(b64) = rest.strip_prefix(": ") {
+            String::from_utf8(base64::decode(b64).unwrap_or_default()).unwrap_or_default()
+        } else {
+            rest.strip_prefix(' ').unwrap_or(rest).to_string()
+        };
+        if raw_name == "dn" {
+            if let Some(rec) = current.take() {
+                records.push(rec);
+            }
+            let mut keyword = String::new();
+            let mut host = String::new();
+            for part in value.split(',') {
+                let part = part.trim();
+                if let Some(k) = part.strip_prefix("kw=") {
+                    keyword = k.to_string();
+                } else if let Some(h) = part.strip_prefix("hn=") {
+                    host = h.to_string();
+                }
+            }
+            current = Some(InfoRecord::new(&keyword, &host));
+        } else if raw_name == "objectclass" {
+            continue;
+        } else if let Some(rec) = current.as_mut() {
+            let keyword = rec.keyword.clone();
+            if let Some(base) = raw_name.strip_suffix(";quality") {
+                let name = restore_name(base, &keyword);
+                if let Some(a) = rec.attributes.iter_mut().rev().find(|a| a.name == name) {
+                    a.quality = value.parse().ok();
+                }
+            } else if let Some(base) = raw_name.strip_suffix(";age") {
+                let name = restore_name(base, &keyword);
+                if let Some(a) = rec.attributes.iter_mut().rev().find(|a| a.name == name) {
+                    a.age_secs = value.parse().ok();
+                }
+            } else {
+                rec.attributes
+                    .push(Attribute::new(&restore_name(raw_name, &keyword), &value));
+            }
+        }
+    }
+    if let Some(rec) = current.take() {
+        records.push(rec);
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<InfoRecord> {
+        let mut m = InfoRecord::new("Memory", "node0.grid");
+        m.push("total", "4294967296");
+        m.push("free", "1073741824").quality = Some(0.9);
+        let mut d = InfoRecord::new("Date", "node0.grid");
+        d.push("value", "2002-07-24 00:00:00 UTC").age_secs = Some(1.5);
+        vec![m, d]
+    }
+
+    #[test]
+    fn render_shape() {
+        let out = render(&sample());
+        assert!(out.contains("dn: kw=Memory, hn=node0.grid, o=Grid"));
+        assert!(out.contains("objectclass: InfoGramProvider"));
+        assert!(out.contains("Memory-total: 4294967296"));
+        assert!(out.contains("Memory-free;quality: 0.9000"));
+        assert!(out.contains("Date-value;age: 1.500"));
+        // Two entries, one separator blank line.
+        assert_eq!(out.matches("\n\n").count(), 1);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = sample();
+        let parsed = parse(&render(&records));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].keyword, "Memory");
+        assert_eq!(parsed[0].host, "node0.grid");
+        assert_eq!(parsed[0].get("total").unwrap().value, "4294967296");
+        assert_eq!(parsed[0].get("free").unwrap().quality, Some(0.9));
+        assert_eq!(parsed[1].get("value").unwrap().age_secs, Some(1.5));
+        // Namespaces restored exactly.
+        assert_eq!(parsed[0].attributes[0].name, "Memory:total");
+    }
+
+    #[test]
+    fn base64_for_unsafe_values() {
+        let mut r = InfoRecord::new("Odd", "h");
+        r.push("multiline", "line1\nline2");
+        r.push("leading", " space");
+        r.push("unicode", "grüße");
+        let out = render(&[r]);
+        assert!(out.contains("Odd-multiline:: "));
+        assert!(out.contains("Odd-leading:: "));
+        assert!(out.contains("Odd-unicode:: "));
+        let parsed = parse(&out);
+        assert_eq!(parsed[0].get("multiline").unwrap().value, "line1\nline2");
+        assert_eq!(parsed[0].get("leading").unwrap().value, " space");
+        assert_eq!(parsed[0].get("unicode").unwrap().value, "grüße");
+    }
+
+    #[test]
+    fn value_containing_colons_survives() {
+        let mut r = InfoRecord::new("K", "h");
+        r.push("url", "ldap://host:389/o=Grid");
+        let parsed = parse(&render(&[r]));
+        assert_eq!(parsed[0].get("url").unwrap().value, "ldap://host:389/o=Grid");
+    }
+
+    #[test]
+    fn empty_records() {
+        assert_eq!(render(&[]), "");
+        assert!(parse("").is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ldif_roundtrip_arbitrary_values(
+            keyword in "[A-Za-z][A-Za-z0-9]{0,8}",
+            values in prop::collection::vec("\\PC{0,24}", 1..6),
+        ) {
+            let mut rec = InfoRecord::new(&keyword, "host.grid");
+            for (i, v) in values.iter().enumerate() {
+                rec.push(&format!("attr{i}"), v);
+            }
+            let parsed = parse(&render(&[rec.clone()]));
+            prop_assert_eq!(parsed.len(), 1);
+            for (i, v) in values.iter().enumerate() {
+                let got = parsed[0].get(&format!("attr{i}")).expect("attr present");
+                prop_assert_eq!(&got.value, v);
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Output renderers for information records.
+//!
+//! §6.6: "The format tag defines the format in which the information is
+//! returned. The supported formats are LDIF and XML." We add a plain
+//! `key: value` format for debugging. Each renderer is paired with enough
+//! of a parser to round-trip its own output in tests.
+
+pub mod base64;
+pub mod dsml;
+pub mod ldif;
+pub mod plain;
+pub mod xml;
+
+use crate::record::InfoRecord;
+use infogram_rsl::OutputFormat;
+
+/// Render records in the requested format.
+pub fn render(records: &[InfoRecord], format: OutputFormat) -> String {
+    match format {
+        OutputFormat::Ldif => ldif::render(records),
+        OutputFormat::Xml => xml::render(records),
+        OutputFormat::Dsml => dsml::render(records),
+        OutputFormat::Plain => plain::render(records),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::InfoRecord;
+
+    fn sample() -> Vec<InfoRecord> {
+        let mut m = InfoRecord::new("Memory", "node0.grid");
+        m.push("total", "4294967296");
+        m.push("free", "123456789");
+        let mut c = InfoRecord::new("CPULoad", "node0.grid");
+        c.push("load", "0.93").quality = Some(0.75);
+        vec![m, c]
+    }
+
+    #[test]
+    fn dispatcher_selects_format() {
+        let records = sample();
+        let ldif = render(&records, OutputFormat::Ldif);
+        assert!(ldif.contains("dn:"));
+        let xml = render(&records, OutputFormat::Xml);
+        assert!(xml.starts_with("<infogram>"));
+        let dsml = render(&records, OutputFormat::Dsml);
+        assert!(dsml.starts_with("<dsml>"));
+        let plain = render(&records, OutputFormat::Plain);
+        assert!(plain.contains("Memory:total: 4294967296"));
+    }
+
+    #[test]
+    fn all_formats_carry_all_attributes() {
+        let records = sample();
+        for fmt in [
+            OutputFormat::Ldif,
+            OutputFormat::Xml,
+            OutputFormat::Dsml,
+            OutputFormat::Plain,
+        ] {
+            let out = render(&records, fmt);
+            assert!(out.contains("4294967296"), "{fmt}: missing value");
+            assert!(out.contains("0.93"), "{fmt}: missing load");
+        }
+    }
+}

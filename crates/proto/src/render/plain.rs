@@ -1,0 +1,44 @@
+//! Plain `key: value` rendering (debugging format).
+
+use crate::record::InfoRecord;
+
+/// Render records as `# keyword @ host` headers followed by
+/// `name: value` lines.
+pub fn render(records: &[InfoRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&format!("# {} @ {}\n", rec.keyword, rec.host));
+        for a in &rec.attributes {
+            out.push_str(&format!("{}: {}", a.name, a.value));
+            if let Some(q) = a.quality {
+                out.push_str(&format!("  [quality={q:.4}]"));
+            }
+            if let Some(age) = a.age_secs {
+                out.push_str(&format!("  [age={age:.3}s]"));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_headers_and_values() {
+        let mut r = InfoRecord::new("CPU", "node1");
+        r.push("count", "4");
+        r.push("mhz", "1000").quality = Some(1.0);
+        let out = render(&[r]);
+        assert!(out.contains("# CPU @ node1"));
+        assert!(out.contains("CPU:count: 4"));
+        assert!(out.contains("CPU:mhz: 1000  [quality=1.0000]"));
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(render(&[]), "");
+    }
+}

@@ -1,0 +1,226 @@
+//! XML rendering.
+//!
+//! "Our positive experience with the use of XML schemas as basis for the
+//! next generation of Information services makes us believe that it
+//! provides a viable alternative to the currently used LDAP schemas"
+//! (§5.5). Records render as:
+//!
+//! ```xml
+//! <infogram>
+//!   <provider keyword="Memory" host="node0.grid">
+//!     <attribute name="Memory:total">4294967296</attribute>
+//!     <attribute name="CPULoad:load" quality="0.7500" age="3.000">0.93</attribute>
+//!   </provider>
+//! </infogram>
+//! ```
+
+use crate::record::{Attribute, InfoRecord};
+
+/// Escape a string for use in XML text content or attribute values.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverse [`escape`].
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let mapped = [
+            ("&amp;", '&'),
+            ("&lt;", '<'),
+            ("&gt;", '>'),
+            ("&quot;", '"'),
+            ("&apos;", '\''),
+        ]
+        .iter()
+        .find_map(|(ent, ch)| rest.strip_prefix(ent).map(|r| (r, *ch)));
+        match mapped {
+            Some((r, ch)) => {
+                out.push(ch);
+                rest = r;
+            }
+            None => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Render records as an `<infogram>` document.
+pub fn render(records: &[InfoRecord]) -> String {
+    let mut out = String::from("<infogram>\n");
+    for rec in records {
+        out.push_str(&format!(
+            "  <provider keyword=\"{}\" host=\"{}\">\n",
+            escape(&rec.keyword),
+            escape(&rec.host)
+        ));
+        for a in &rec.attributes {
+            out.push_str(&format!("    <attribute name=\"{}\"", escape(&a.name)));
+            if let Some(q) = a.quality {
+                out.push_str(&format!(" quality=\"{q:.4}\""));
+            }
+            if let Some(age) = a.age_secs {
+                out.push_str(&format!(" age=\"{age:.3}\""));
+            }
+            out.push_str(&format!(">{}</attribute>\n", escape(&a.value)));
+        }
+        out.push_str("  </provider>\n");
+    }
+    out.push_str("</infogram>\n");
+    out
+}
+
+/// Parse documents produced by [`render`]. This is a purpose-built
+/// scanner, not a general XML parser; it understands exactly the shape
+/// `render` emits (used by tests and the format-equivalence experiment).
+pub fn parse(text: &str) -> Vec<InfoRecord> {
+    let mut records = Vec::new();
+    let mut current: Option<InfoRecord> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("<provider ") {
+            let keyword = attr_of(rest, "keyword").unwrap_or_default();
+            let host = attr_of(rest, "host").unwrap_or_default();
+            current = Some(InfoRecord::new(&keyword, &host));
+        } else if line == "</provider>" {
+            if let Some(rec) = current.take() {
+                records.push(rec);
+            }
+        } else if let Some(rest) = line.strip_prefix("<attribute ") {
+            let Some(rec) = current.as_mut() else { continue };
+            let name = attr_of(rest, "name").unwrap_or_default();
+            let quality = attr_of(rest, "quality").and_then(|q| q.parse().ok());
+            let age_secs = attr_of(rest, "age").and_then(|a| a.parse().ok());
+            let value = rest
+                .split_once('>')
+                .and_then(|(_, r)| r.rsplit_once("</attribute>"))
+                .map(|(v, _)| unescape(v))
+                .unwrap_or_default();
+            rec.attributes.push(Attribute {
+                name,
+                value,
+                quality,
+                age_secs,
+            });
+        }
+    }
+    records
+}
+
+/// Extract `name="value"` from a tag fragment.
+fn attr_of(fragment: &str, name: &str) -> Option<String> {
+    let marker = format!("{name}=\"");
+    let start = fragment.find(&marker)? + marker.len();
+    let end = fragment[start..].find('"')? + start;
+    Some(unescape(&fragment[start..end]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<InfoRecord> {
+        let mut m = InfoRecord::new("Memory", "node0.grid");
+        m.push("total", "4294967296");
+        let mut c = InfoRecord::new("CPULoad", "node0.grid");
+        c.push("load", "0.93").quality = Some(0.75);
+        c.push("load5", "0.90").age_secs = Some(3.0);
+        vec![m, c]
+    }
+
+    #[test]
+    fn render_shape() {
+        let out = render(&sample());
+        assert!(out.starts_with("<infogram>"));
+        assert!(out.trim_end().ends_with("</infogram>"));
+        assert!(out.contains("<provider keyword=\"Memory\" host=\"node0.grid\">"));
+        assert!(out.contains("<attribute name=\"Memory:total\">4294967296</attribute>"));
+        assert!(out.contains("quality=\"0.7500\""));
+        assert!(out.contains("age=\"3.000\""));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = sample();
+        let parsed = parse(&render(&records));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].get("total").unwrap().value, "4294967296");
+        assert_eq!(parsed[1].get("load").unwrap().quality, Some(0.75));
+        assert_eq!(parsed[1].get("load5").unwrap().age_secs, Some(3.0));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a<b&c>\"d'"), "a&lt;b&amp;c&gt;&quot;d&apos;");
+        assert_eq!(unescape("a&lt;b&amp;c&gt;&quot;d&apos;"), "a<b&c>\"d'");
+        // Lone ampersand survives unescape.
+        assert_eq!(unescape("a&b"), "a&b");
+    }
+
+    #[test]
+    fn hostile_values_roundtrip() {
+        let mut r = InfoRecord::new("X", "h<>&");
+        r.push("attr", "<script>&\"quotes\"'</script>");
+        let parsed = parse(&render(&[r]));
+        assert_eq!(parsed[0].host, "h<>&");
+        assert_eq!(
+            parsed[0].get("attr").unwrap().value,
+            "<script>&\"quotes\"'</script>"
+        );
+    }
+
+    #[test]
+    fn empty_document() {
+        let out = render(&[]);
+        assert_eq!(out, "<infogram>\n</infogram>\n");
+        assert!(parse(&out).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn escape_unescape_roundtrip(s in "\\PC{0,64}") {
+            prop_assert_eq!(unescape(&escape(&s)), s);
+        }
+
+        #[test]
+        fn xml_roundtrip_single_line_values(
+            // XML rendering is line-oriented; values with newlines are
+            // carried by LDIF/base64 instead.
+            values in prop::collection::vec("[^\\r\\n]{0,24}", 1..5),
+        ) {
+            let mut rec = InfoRecord::new("Kw", "host");
+            for (i, v) in values.iter().enumerate() {
+                rec.push(&format!("a{i}"), v);
+            }
+            let parsed = parse(&render(&[rec]));
+            prop_assert_eq!(parsed.len(), 1);
+            for (i, v) in values.iter().enumerate() {
+                prop_assert_eq!(&parsed[0].get(&format!("a{i}")).unwrap().value, v);
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Transports: how frames get between client and service.
+//!
+//! Two implementations of the same [`Transport`] trait:
+//!
+//! * [`mem::MemNetwork`] — an in-process network of crossbeam channels
+//!   with a latency/loss model from `infogram-sim` and built-in traffic
+//!   accounting. Deterministic, fast, used by tests and by the
+//!   protocol-overhead experiments.
+//! * [`tcp::TcpTransport`] — real `std::net` TCP with length-prefixed
+//!   frames, used by the runnable examples.
+//!
+//! Both count connections, messages, and bytes into a
+//! [`infogram_sim::metrics::MetricSet`], which is how Figures 2–4 get
+//! their connection/handshake/byte columns.
+
+use std::fmt;
+
+pub mod mem;
+pub mod tcp;
+
+/// Transport-level failure.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The connection or listener is closed.
+    Closed,
+    /// No service is listening at the address.
+    ConnectionRefused(String),
+    /// The address string could not be used.
+    BadAddress(String),
+    /// An OS-level I/O failure.
+    Io(String),
+    /// A frame exceeded the size limit.
+    TooLarge(usize),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Closed => write!(f, "connection closed"),
+            ProtoError::ConnectionRefused(a) => write!(f, "connection refused: {a}"),
+            ProtoError::BadAddress(a) => write!(f, "bad address: {a}"),
+            ProtoError::Io(e) => write!(f, "transport I/O error: {e}"),
+            ProtoError::TooLarge(n) => write!(f, "message of {n} bytes too large"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<crate::frame::FrameError> for ProtoError {
+    fn from(e: crate::frame::FrameError) -> Self {
+        match e {
+            crate::frame::FrameError::Closed => ProtoError::Closed,
+            crate::frame::FrameError::Io(e) => ProtoError::Io(e.to_string()),
+            crate::frame::FrameError::TooLarge(n) => ProtoError::TooLarge(n),
+        }
+    }
+}
+
+/// A bidirectional message connection.
+pub trait Conn: Send + Sync {
+    /// Send one message. `&self`: connections are internally
+    /// synchronized so a request loop and an asynchronous event pusher
+    /// can share one connection.
+    fn send(&self, msg: &[u8]) -> Result<(), ProtoError>;
+    /// Receive the next message, blocking. Only one thread should recv.
+    fn recv(&self) -> Result<Vec<u8>, ProtoError>;
+    /// A printable peer address.
+    fn peer(&self) -> String;
+}
+
+/// A listening endpoint.
+pub trait Listener: Send + Sync {
+    /// Accept the next incoming connection, blocking.
+    fn accept(&self) -> Result<Box<dyn Conn>, ProtoError>;
+    /// The bound address (with any `:0` port resolved).
+    fn local_addr(&self) -> String;
+    /// Unblock pending and future `accept` calls with
+    /// [`ProtoError::Closed`].
+    fn close(&self);
+}
+
+/// A way of listening and connecting.
+pub trait Transport: Send + Sync {
+    /// Bind a listener. `host:0` picks a fresh port.
+    fn listen(&self, addr: &str) -> Result<Box<dyn Listener>, ProtoError>;
+    /// Connect to a listener.
+    fn connect(&self, addr: &str) -> Result<Box<dyn Conn>, ProtoError>;
+}

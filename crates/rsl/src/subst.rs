@@ -1,0 +1,297 @@
+//! RSL variable substitution.
+//!
+//! RSL specifications may define variables with the classic
+//! `rslsubstitution` attribute and reference them as `$(NAME)`:
+//!
+//! ```text
+//! &(rslsubstitution=(HOME /home/gregor))
+//!  (directory=$(HOME) # /data)
+//! ```
+//!
+//! [`substitute`] resolves every variable reference against an ambient
+//! environment plus any `rslsubstitution` definitions (which take effect
+//! for the remainder of the specification, in source order), flattens
+//! fully-literal concatenations, and drops the definitional relations from
+//! the output.
+
+use crate::ast::{Relation, Spec, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A substitution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubstError {
+    /// A `$(NAME)` had no binding.
+    Undefined {
+        /// The unbound variable name.
+        name: String,
+    },
+    /// An `rslsubstitution` definition was not a `(NAME value)` pair.
+    MalformedDefinition {
+        /// Rendering of the malformed definition.
+        found: String,
+    },
+}
+
+impl fmt::Display for SubstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubstError::Undefined { name } => write!(f, "undefined RSL variable $({name})"),
+            SubstError::MalformedDefinition { found } => {
+                write!(f, "malformed rslsubstitution definition: {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubstError {}
+
+/// Substitute variables throughout a specification.
+///
+/// `env` provides the ambient bindings (e.g. `HOME`, `GLOBUSRUN_GASS_URL`
+/// in real Globus); `rslsubstitution` relations add to the scope as they
+/// are encountered and are removed from the result.
+pub fn substitute(spec: &Spec, env: &HashMap<String, String>) -> Result<Spec, SubstError> {
+    let mut scope: HashMap<String, String> = env.clone();
+    subst_spec(spec, &mut scope)
+}
+
+fn subst_spec(spec: &Spec, scope: &mut HashMap<String, String>) -> Result<Spec, SubstError> {
+    match spec {
+        Spec::Relation(r) => {
+            if r.attribute == "rslsubstitution" {
+                define(r, scope)?;
+                // Definitional relation: replaced by an empty conjunction
+                // marker; the caller strips it.
+                Ok(Spec::Boolean {
+                    op: crate::ast::BoolOp::And,
+                    specs: vec![],
+                })
+            } else {
+                Ok(Spec::Relation(Relation {
+                    attribute: r.attribute.clone(),
+                    op: r.op,
+                    values: r
+                        .values
+                        .iter()
+                        .map(|v| subst_value(v, scope))
+                        .collect::<Result<_, _>>()?,
+                }))
+            }
+        }
+        Spec::Boolean { op, specs } => {
+            let mut out = Vec::with_capacity(specs.len());
+            for s in specs {
+                let replaced = subst_spec(s, scope)?;
+                // Strip empty conjunctions left by consumed definitions.
+                if let Spec::Boolean { specs: inner, .. } = &replaced {
+                    if inner.is_empty() {
+                        continue;
+                    }
+                }
+                out.push(replaced);
+            }
+            Ok(Spec::Boolean { op: *op, specs: out })
+        }
+        Spec::Multi(specs) => {
+            // Each multi-request branch gets its own child scope, so
+            // definitions in one branch do not leak into siblings.
+            let mut out = Vec::with_capacity(specs.len());
+            for s in specs {
+                let mut child = scope.clone();
+                out.push(subst_spec(s, &mut child)?);
+            }
+            Ok(Spec::Multi(out))
+        }
+    }
+}
+
+fn define(r: &Relation, scope: &mut HashMap<String, String>) -> Result<(), SubstError> {
+    for v in &r.values {
+        match v {
+            Value::Sequence(kv) => {
+                let name = kv.first().and_then(Value::as_literal);
+                let value = kv.get(1);
+                match (name, value, kv.len()) {
+                    (Some(name), Some(value), 2) => {
+                        let resolved = resolve_to_string(value, scope)?;
+                        scope.insert(name.to_string(), resolved);
+                    }
+                    _ => {
+                        return Err(SubstError::MalformedDefinition {
+                            found: v.to_string(),
+                        })
+                    }
+                }
+            }
+            other => {
+                return Err(SubstError::MalformedDefinition {
+                    found: other.to_string(),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+fn subst_value(v: &Value, scope: &HashMap<String, String>) -> Result<Value, SubstError> {
+    match v {
+        Value::Literal(s) => Ok(Value::Literal(s.clone())),
+        Value::Variable(name) => scope
+            .get(name)
+            .map(|s| Value::Literal(s.clone()))
+            .ok_or_else(|| SubstError::Undefined { name: name.clone() }),
+        Value::Sequence(items) => Ok(Value::Sequence(
+            items
+                .iter()
+                .map(|i| subst_value(i, scope))
+                .collect::<Result<_, _>>()?,
+        )),
+        Value::Concat(parts) => {
+            let resolved: Vec<Value> = parts
+                .iter()
+                .map(|p| subst_value(p, scope))
+                .collect::<Result<_, _>>()?;
+            // With variables resolved every part is normally a literal;
+            // flatten the chain into one. A sequence inside a concat has
+            // no string form, so such chains are kept structural.
+            if resolved.iter().all(|p| matches!(p, Value::Literal(_))) {
+                let mut s = String::new();
+                for p in &resolved {
+                    if let Value::Literal(l) = p {
+                        s.push_str(l);
+                    }
+                }
+                Ok(Value::Literal(s))
+            } else {
+                Ok(Value::Concat(resolved))
+            }
+        }
+    }
+}
+
+fn resolve_to_string(v: &Value, scope: &HashMap<String, String>) -> Result<String, SubstError> {
+    match subst_value(v, scope)? {
+        Value::Literal(s) => Ok(s),
+        other => Err(SubstError::MalformedDefinition {
+            found: other.to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn env(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn ambient_variable() {
+        let spec = parse("(directory=$(HOME))").unwrap();
+        let out = substitute(&spec, &env(&[("HOME", "/home/gregor")])).unwrap();
+        assert_eq!(out.get_literal("directory"), Some("/home/gregor"));
+    }
+
+    #[test]
+    fn concat_flattens() {
+        let spec = parse("(directory=$(HOME) # /data # /sub)").unwrap();
+        let out = substitute(&spec, &env(&[("HOME", "/h")])).unwrap();
+        assert_eq!(out.get_literal("directory"), Some("/h/data/sub"));
+    }
+
+    #[test]
+    fn rslsubstitution_defines_and_disappears() {
+        let spec =
+            parse("&(rslsubstitution=(BASE /opt/grid))(executable=$(BASE) # /bin/run)").unwrap();
+        let out = substitute(&spec, &HashMap::new()).unwrap();
+        assert_eq!(out.get_literal("executable"), Some("/opt/grid/bin/run"));
+        assert!(out.get("rslsubstitution").is_none());
+    }
+
+    #[test]
+    fn definition_may_reference_earlier_definitions() {
+        let spec = parse(
+            "&(rslsubstitution=(A /a))(rslsubstitution=(B $(A) # /b))(directory=$(B))",
+        )
+        .unwrap();
+        let out = substitute(&spec, &HashMap::new()).unwrap();
+        assert_eq!(out.get_literal("directory"), Some("/a/b"));
+    }
+
+    #[test]
+    fn undefined_variable_errors() {
+        let spec = parse("(directory=$(NOPE))").unwrap();
+        match substitute(&spec, &HashMap::new()) {
+            Err(SubstError::Undefined { name }) => assert_eq!(name, "NOPE"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_definition_errors() {
+        for bad in [
+            "(rslsubstitution=plain)",
+            "(rslsubstitution=(ONLYNAME))",
+            "(rslsubstitution=(A b c))",
+        ] {
+            let spec = parse(bad).unwrap();
+            assert!(
+                matches!(
+                    substitute(&spec, &HashMap::new()),
+                    Err(SubstError::MalformedDefinition { .. })
+                ),
+                "{bad} should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_definitions_in_one_relation() {
+        let spec =
+            parse("&(rslsubstitution=(A 1)(B 2))(x=$(A))(y=$(B))").unwrap();
+        let out = substitute(&spec, &HashMap::new()).unwrap();
+        assert_eq!(out.get_literal("x"), Some("1"));
+        assert_eq!(out.get_literal("y"), Some("2"));
+    }
+
+    #[test]
+    fn multi_request_scopes_isolated() {
+        let spec = parse(
+            "+(&(rslsubstitution=(V one))(a=$(V)))(&(rslsubstitution=(V two))(a=$(V)))",
+        )
+        .unwrap();
+        let out = substitute(&spec, &HashMap::new()).unwrap();
+        match out {
+            Spec::Multi(parts) => {
+                assert_eq!(parts[0].get_literal("a"), Some("one"));
+                assert_eq!(parts[1].get_literal("a"), Some("two"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn variables_inside_sequences() {
+        let spec = parse("(environment=(HOME $(H)))").unwrap();
+        let out = substitute(&spec, &env(&[("H", "/home/x")])).unwrap();
+        let rel = out.get("environment").unwrap();
+        match &rel.values[0] {
+            Value::Sequence(kv) => assert_eq!(kv[1].as_literal(), Some("/home/x")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn untouched_spec_passes_through() {
+        let spec = parse("&(executable=/bin/ls)(count=3)").unwrap();
+        let out = substitute(&spec, &HashMap::new()).unwrap();
+        assert_eq!(out.get_literal("executable"), Some("/bin/ls"));
+        assert_eq!(out.get_literal("count"), Some("3"));
+    }
+}

@@ -1,0 +1,316 @@
+//! RSL lexer.
+
+use std::fmt;
+
+/// One lexical token of an RSL specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `+`
+    Plus,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `#` — string concatenation.
+    Hash,
+    /// `$` — introduces a variable reference `$(NAME)`.
+    Dollar,
+    /// A bare or quoted string. The `quoted` flag is preserved so the
+    /// printer can round-trip strings that *look* like operators.
+    Str {
+        /// Decoded contents.
+        text: String,
+        /// Whether the source was quoted.
+        quoted: bool,
+    },
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Amp => write!(f, "&"),
+            Token::Pipe => write!(f, "|"),
+            Token::Plus => write!(f, "+"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Hash => write!(f, "#"),
+            Token::Dollar => write!(f, "$"),
+            Token::Str { text, .. } => write!(f, "{text}"),
+        }
+    }
+}
+
+/// A lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the failure.
+    pub position: usize,
+    /// Description.
+    pub reason: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.reason)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Characters that terminate an unquoted string.
+fn is_special(c: char) -> bool {
+    matches!(
+        c,
+        '(' | ')' | '&' | '|' | '+' | '=' | '<' | '>' | '!' | '#' | '$' | '"' | '\''
+    ) || c.is_whitespace()
+}
+
+/// Tokenize an RSL source string.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    while let Some(&(pos, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            '&' => {
+                chars.next();
+                tokens.push(Token::Amp);
+            }
+            '|' => {
+                chars.next();
+                tokens.push(Token::Pipe);
+            }
+            '+' => {
+                chars.next();
+                tokens.push(Token::Plus);
+            }
+            '#' => {
+                chars.next();
+                tokens.push(Token::Hash);
+            }
+            '$' => {
+                chars.next();
+                tokens.push(Token::Dollar);
+            }
+            '=' => {
+                chars.next();
+                tokens.push(Token::Eq);
+            }
+            '!' => {
+                chars.next();
+                match chars.peek() {
+                    Some(&(_, '=')) => {
+                        chars.next();
+                        tokens.push(Token::Ne);
+                    }
+                    _ => {
+                        return Err(LexError {
+                            position: pos,
+                            reason: "'!' must be followed by '='".to_string(),
+                        })
+                    }
+                }
+            }
+            '<' => {
+                chars.next();
+                if let Some(&(_, '=')) = chars.peek() {
+                    chars.next();
+                    tokens.push(Token::Le);
+                } else {
+                    tokens.push(Token::Lt);
+                }
+            }
+            '>' => {
+                chars.next();
+                if let Some(&(_, '=')) = chars.peek() {
+                    chars.next();
+                    tokens.push(Token::Ge);
+                } else {
+                    tokens.push(Token::Gt);
+                }
+            }
+            quote @ ('"' | '\'') => {
+                chars.next();
+                let mut text = String::new();
+                loop {
+                    match chars.next() {
+                        Some((_, ch)) if ch == quote => {
+                            // Doubled quote is an escaped quote.
+                            if let Some(&(_, next)) = chars.peek() {
+                                if next == quote {
+                                    chars.next();
+                                    text.push(quote);
+                                    continue;
+                                }
+                            }
+                            break;
+                        }
+                        Some((_, ch)) => text.push(ch),
+                        None => {
+                            return Err(LexError {
+                                position: pos,
+                                reason: "unterminated quoted string".to_string(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token::Str { text, quoted: true });
+            }
+            _ => {
+                let mut text = String::new();
+                while let Some(&(_, ch)) = chars.peek() {
+                    if is_special(ch) {
+                        break;
+                    }
+                    text.push(ch);
+                    chars.next();
+                }
+                tokens.push(Token::Str {
+                    text,
+                    quoted: false,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bare(s: &str) -> Token {
+        Token::Str {
+            text: s.to_string(),
+            quoted: false,
+        }
+    }
+
+    #[test]
+    fn lex_simple_relation() {
+        let toks = lex("(executable=/bin/date)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LParen,
+                bare("executable"),
+                Token::Eq,
+                bare("/bin/date"),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_boolean_ops() {
+        let toks = lex("&(a=1)(b=2)").unwrap();
+        assert_eq!(toks[0], Token::Amp);
+        let toks = lex("|(a=1)").unwrap();
+        assert_eq!(toks[0], Token::Pipe);
+        let toks = lex("+(&(a=1))").unwrap();
+        assert_eq!(toks[0], Token::Plus);
+    }
+
+    #[test]
+    fn lex_comparison_ops() {
+        let toks = lex("(memory>=64)(x<5)(y<=9)(z>1)(w!=0)").unwrap();
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Lt));
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Gt));
+        assert!(toks.contains(&Token::Ne));
+    }
+
+    #[test]
+    fn lex_quoted_strings() {
+        let toks = lex(r#"(name="hello world")"#).unwrap();
+        assert_eq!(
+            toks[3],
+            Token::Str {
+                text: "hello world".to_string(),
+                quoted: true
+            }
+        );
+        // Single quotes and doubled-quote escapes.
+        let toks = lex("(a='it''s')").unwrap();
+        assert_eq!(
+            toks[3],
+            Token::Str {
+                text: "it's".to_string(),
+                quoted: true
+            }
+        );
+        let toks = lex(r#"(a="say ""hi""")"#).unwrap();
+        assert_eq!(
+            toks[3],
+            Token::Str {
+                text: "say \"hi\"".to_string(),
+                quoted: true
+            }
+        );
+    }
+
+    #[test]
+    fn lex_variable_and_concat() {
+        let toks = lex("(dir=$(HOME)#/data)").unwrap();
+        assert!(toks.contains(&Token::Dollar));
+        assert!(toks.contains(&Token::Hash));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("(a=\"unterminated").is_err());
+        assert!(lex("(a!b)").is_err());
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = lex("( a = b )").unwrap();
+        let b = lex("(a=b)").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quoted_operator_lookalikes_stay_strings() {
+        let toks = lex(r#"(a="(=)&")"#).unwrap();
+        assert_eq!(
+            toks[3],
+            Token::Str {
+                text: "(=)&".to_string(),
+                quoted: true
+            }
+        );
+    }
+}

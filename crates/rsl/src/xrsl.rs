@@ -1,0 +1,628 @@
+//! xRSL: the typed view over a specification, including the InfoGram
+//! extension tags.
+//!
+//! §6.6 of the paper adds to RSL the tags `schema`, `info`, `filter`,
+//! `response`, `performance`, `quality`, and `format`, plus the planned
+//! `timeout`/`action` extension. [`XrslRequest::from_spec`] extracts all of
+//! them and the classic GRAM job attributes, and classifies the request.
+
+use crate::ast::{Spec, Value};
+use crate::parser::{parse, ParseError};
+use std::fmt;
+use std::time::Duration;
+
+/// What a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Only a job submission (`executable` present).
+    Job,
+    /// Only an information query (`info` present).
+    Info,
+    /// Both in one specification. The paper treats "job submissions and
+    /// information queries alike", but a single request must still be one
+    /// or the other; the service rejects `Both` with a protocol error.
+    Both,
+    /// Neither — an empty or purely administrative specification.
+    Empty,
+}
+
+/// One `(info=...)` selector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InfoSelector {
+    /// `(info=all)` — every configured keyword.
+    All,
+    /// `(info=schema)` — service reflection: return the schema.
+    Schema,
+    /// `(info=Keyword)` — one key information provider.
+    Keyword(String),
+}
+
+/// `(response=...)` cache behaviour (§6.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResponseMode {
+    /// Execute the provider now, regardless of TTL; updates the cache.
+    Immediate,
+    /// Serve from cache if valid, else refresh first (the default).
+    #[default]
+    Cached,
+    /// Serve whatever was stored last, without refreshing.
+    Last,
+}
+
+/// `(format=...)` output rendering (§5.5, §6.6: "The supported formats are
+/// LDIF and XML").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// LDAP Data Interchange Format — the MDS-compatible default.
+    #[default]
+    Ldif,
+    /// XML elements.
+    Xml,
+    /// Directory Services Markup Language — "it is straightforward to
+    /// support other formats such as DSML" (§6.6); here it is.
+    Dsml,
+    /// Plain `key: value` lines (our debugging addition).
+    Plain,
+}
+
+impl fmt::Display for OutputFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutputFormat::Ldif => write!(f, "ldif"),
+            OutputFormat::Xml => write!(f, "xml"),
+            OutputFormat::Dsml => write!(f, "dsml"),
+            OutputFormat::Plain => write!(f, "plain"),
+        }
+    }
+}
+
+/// `(action=...)` on timeout (§6.6 extensions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeoutAction {
+    /// Cancel the command when the timeout fires (the default).
+    #[default]
+    Cancel,
+    /// Throw an exception to the client but let the command continue.
+    Exception,
+}
+
+/// How the job should be executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JobType {
+    /// Plain forked process (the GRAM default).
+    #[default]
+    Fork,
+    /// Batch queue submission.
+    Batch,
+    /// A Java-jar-style sandboxed job (§7: "execute pure Java code
+    /// submitted as Java jar files"). Inferred when the executable ends
+    /// in `.jar`.
+    Jarlet,
+}
+
+/// The job-submission half of a request: classic GRAM attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRequest {
+    /// Path of the executable.
+    pub executable: String,
+    /// Command-line arguments.
+    pub arguments: Vec<String>,
+    /// Environment variables.
+    pub environment: Vec<(String, String)>,
+    /// Working directory.
+    pub directory: Option<String>,
+    /// Number of instances (GRAM `count`), default 1.
+    pub count: u32,
+    /// Maximum wall time (GRAM `maxtime`, minutes).
+    pub max_time: Option<Duration>,
+    /// Where stdout goes (a path on the service side).
+    pub stdout: Option<String>,
+    /// Where stderr goes.
+    pub stderr: Option<String>,
+    /// Execution mode.
+    pub job_type: JobType,
+    /// Batch queue name (`queue=`), for batch jobs.
+    pub queue: Option<String>,
+    /// Matchmaking requirements (`requirements=(k v)(k v)`).
+    pub requirements: Vec<(String, String)>,
+    /// If true, restart the job automatically on failure (§6.1:
+    /// "a fault tolerance mechanism that allows to restart a job upon
+    /// failure"). `(restartonfail=N)` gives the retry budget.
+    pub restart_on_fail: u32,
+    /// The xRSL `(timeout=...)` deadline, copied from the request level
+    /// because for a job submission it governs the job.
+    pub timeout: Option<Duration>,
+    /// What happens at the timeout (§6.6 extensions).
+    pub timeout_action: TimeoutAction,
+}
+
+/// A fully extracted xRSL request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XrslRequest {
+    /// Job half, if `executable` was present.
+    pub job: Option<JobRequest>,
+    /// Information selectors, in source order.
+    pub info: Vec<InfoSelector>,
+    /// Cache behaviour.
+    pub response: ResponseMode,
+    /// Quality threshold in percent (0–100): attributes whose degradation
+    /// fell below it are refreshed (§6.6).
+    pub quality: Option<f64>,
+    /// Whether to attach per-keyword timing statistics.
+    pub performance: bool,
+    /// Output rendering.
+    pub format: OutputFormat,
+    /// Attribute filter (e.g. `Memory:free`); `None` returns everything.
+    pub filter: Option<String>,
+    /// Command/job timeout.
+    pub timeout: Option<Duration>,
+    /// What to do when the timeout fires.
+    pub timeout_action: TimeoutAction,
+}
+
+/// An xRSL-level validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XrslError {
+    /// The underlying RSL failed to parse.
+    Parse(ParseError),
+    /// A tag had an unusable value.
+    BadTag {
+        /// Tag name.
+        tag: String,
+        /// Offending value.
+        value: String,
+        /// Expectation.
+        expected: String,
+    },
+    /// A required structural property failed.
+    Structure(String),
+}
+
+impl fmt::Display for XrslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XrslError::Parse(e) => write!(f, "{e}"),
+            XrslError::BadTag {
+                tag,
+                value,
+                expected,
+            } => write!(f, "bad ({tag}={value}): expected {expected}"),
+            XrslError::Structure(s) => write!(f, "xRSL structure error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for XrslError {}
+
+impl From<ParseError> for XrslError {
+    fn from(e: ParseError) -> Self {
+        XrslError::Parse(e)
+    }
+}
+
+fn bad(tag: &str, value: &str, expected: &str) -> XrslError {
+    XrslError::BadTag {
+        tag: tag.to_string(),
+        value: value.to_string(),
+        expected: expected.to_string(),
+    }
+}
+
+/// Flatten a relation's values to strings, descending one sequence level.
+fn flat_strings(values: &[Value]) -> Vec<String> {
+    let mut out = Vec::new();
+    for v in values {
+        match v {
+            Value::Literal(s) => out.push(s.clone()),
+            Value::Sequence(items) => {
+                for i in items {
+                    if let Some(s) = i.as_literal() {
+                        out.push(s.to_string());
+                    }
+                }
+            }
+            other => out.push(other.to_string()),
+        }
+    }
+    out
+}
+
+/// Extract `(k v)` pairs from a relation's sequence values.
+fn kv_pairs(values: &[Value], tag: &str) -> Result<Vec<(String, String)>, XrslError> {
+    let mut out = Vec::new();
+    for v in values {
+        match v {
+            Value::Sequence(kv) if kv.len() == 2 => {
+                match (kv[0].as_literal(), kv[1].as_literal()) {
+                    (Some(k), Some(val)) => out.push((k.to_string(), val.to_string())),
+                    _ => return Err(bad(tag, &v.to_string(), "(name value) pair")),
+                }
+            }
+            other => return Err(bad(tag, &other.to_string(), "(name value) pair")),
+        }
+    }
+    Ok(out)
+}
+
+impl XrslRequest {
+    /// Parse xRSL source into one request. Multi-requests (`+`) are
+    /// rejected here; use [`XrslRequest::parse_all`] to expand them.
+    pub fn from_text(src: &str) -> Result<XrslRequest, XrslError> {
+        let spec = parse(src)?;
+        Self::from_spec(&spec)
+    }
+
+    /// Parse xRSL source, expanding a top-level multi-request into one
+    /// request per branch.
+    pub fn parse_all(src: &str) -> Result<Vec<XrslRequest>, XrslError> {
+        let spec = parse(src)?;
+        match spec {
+            Spec::Multi(parts) => parts.iter().map(Self::from_spec).collect(),
+            other => Ok(vec![Self::from_spec(&other)?]),
+        }
+    }
+
+    /// Extract a typed request from a parsed specification.
+    pub fn from_spec(spec: &Spec) -> Result<XrslRequest, XrslError> {
+        if matches!(spec, Spec::Multi(_)) {
+            return Err(XrslError::Structure(
+                "multi-request (+) must be expanded with parse_all".to_string(),
+            ));
+        }
+
+        // ---- info selectors ----
+        let mut info = Vec::new();
+        for rel in spec.get_all("info") {
+            for v in flat_strings(&rel.values) {
+                match v.to_ascii_lowercase().as_str() {
+                    "all" => info.push(InfoSelector::All),
+                    "schema" => info.push(InfoSelector::Schema),
+                    _ => info.push(InfoSelector::Keyword(v)),
+                }
+            }
+        }
+
+        // ---- job half ----
+        let job = match spec.get_literal("executable") {
+            Some(executable) => {
+                let executable = executable.to_string();
+                let arguments = spec
+                    .get("arguments")
+                    .map(|r| flat_strings(&r.values))
+                    .unwrap_or_default();
+                let environment = match spec.get("environment") {
+                    Some(r) => kv_pairs(&r.values, "environment")?,
+                    None => Vec::new(),
+                };
+                let requirements = match spec.get("requirements") {
+                    Some(r) => kv_pairs(&r.values, "requirements")?,
+                    None => Vec::new(),
+                };
+                let count = match spec.get_literal("count") {
+                    Some(c) => c
+                        .parse::<u32>()
+                        .ok()
+                        .filter(|&c| c >= 1)
+                        .ok_or_else(|| bad("count", c, "a positive integer"))?,
+                    None => 1,
+                };
+                let max_time = match spec.get_literal("maxtime") {
+                    Some(m) => Some(Duration::from_secs(
+                        60 * m
+                            .parse::<u64>()
+                            .map_err(|_| bad("maxtime", m, "minutes as an integer"))?,
+                    )),
+                    None => None,
+                };
+                let explicit_type = match spec.get_literal("jobtype") {
+                    Some("fork") => Some(JobType::Fork),
+                    Some("batch") => Some(JobType::Batch),
+                    Some("jarlet") | Some("jar") => Some(JobType::Jarlet),
+                    Some(other) => {
+                        return Err(bad("jobtype", other, "fork, batch, or jarlet"))
+                    }
+                    None => None,
+                };
+                let job_type = explicit_type.unwrap_or({
+                    if executable.ends_with(".jar") {
+                        JobType::Jarlet
+                    } else {
+                        JobType::Fork
+                    }
+                });
+                let restart_on_fail = match spec.get_literal("restartonfail") {
+                    Some(n) => n
+                        .parse::<u32>()
+                        .map_err(|_| bad("restartonfail", n, "a retry count"))?,
+                    None => 0,
+                };
+                Some(JobRequest {
+                    executable,
+                    arguments,
+                    environment,
+                    directory: spec.get_literal("directory").map(str::to_string),
+                    count,
+                    max_time,
+                    stdout: spec.get_literal("stdout").map(str::to_string),
+                    stderr: spec.get_literal("stderr").map(str::to_string),
+                    job_type,
+                    queue: spec.get_literal("queue").map(str::to_string),
+                    requirements,
+                    restart_on_fail,
+                    timeout: None,         // patched below, after tag parsing
+                    timeout_action: TimeoutAction::default(),
+                })
+            }
+            None => None,
+        };
+
+        // ---- extension tags ----
+        let response = match spec.get_literal("response") {
+            Some("immediate") => ResponseMode::Immediate,
+            Some("cached") => ResponseMode::Cached,
+            Some("last") => ResponseMode::Last,
+            Some(other) => return Err(bad("response", other, "immediate, cached, or last")),
+            None => ResponseMode::default(),
+        };
+        let format = match spec.get_literal("format") {
+            Some("ldif") => OutputFormat::Ldif,
+            Some("xml") => OutputFormat::Xml,
+            Some("dsml") => OutputFormat::Dsml,
+            Some("plain") => OutputFormat::Plain,
+            Some(other) => return Err(bad("format", other, "ldif, xml, dsml, or plain")),
+            None => OutputFormat::default(),
+        };
+        let quality = match spec.get_literal("quality") {
+            Some(q) => {
+                let v: f64 = q
+                    .parse()
+                    .map_err(|_| bad("quality", q, "a percentage 0-100"))?;
+                if !(0.0..=100.0).contains(&v) {
+                    return Err(bad("quality", q, "a percentage 0-100"));
+                }
+                Some(v)
+            }
+            None => None,
+        };
+        let performance = match spec.get_literal("performance") {
+            Some("true") | Some("yes") | Some("on") => true,
+            Some("false") | Some("no") | Some("off") => false,
+            Some(other) => return Err(bad("performance", other, "true or false")),
+            None => false,
+        };
+        let timeout = match spec.get_literal("timeout") {
+            Some(t) => Some(Duration::from_millis(
+                t.parse::<u64>()
+                    .map_err(|_| bad("timeout", t, "milliseconds as an integer"))?,
+            )),
+            None => None,
+        };
+        let timeout_action = match spec.get_literal("action") {
+            Some("cancel") => TimeoutAction::Cancel,
+            Some("exception") => TimeoutAction::Exception,
+            Some(other) => return Err(bad("action", other, "cancel or exception")),
+            None => TimeoutAction::default(),
+        };
+
+        let mut job = job;
+        if let Some(j) = job.as_mut() {
+            j.timeout = timeout;
+            j.timeout_action = timeout_action;
+        }
+        Ok(XrslRequest {
+            job,
+            info,
+            response,
+            quality,
+            performance,
+            format,
+            filter: spec.get_literal("filter").map(str::to_string),
+            timeout,
+            timeout_action,
+        })
+    }
+
+    /// Classify the request.
+    pub fn kind(&self) -> RequestKind {
+        match (self.job.is_some(), !self.info.is_empty()) {
+            (true, true) => RequestKind::Both,
+            (true, false) => RequestKind::Job,
+            (false, true) => RequestKind::Info,
+            (false, false) => RequestKind::Empty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_job_request() {
+        let r = XrslRequest::from_text(
+            "&(executable=/bin/date)(arguments=-u)(count=3)(maxtime=5)",
+        )
+        .unwrap();
+        assert_eq!(r.kind(), RequestKind::Job);
+        let job = r.job.unwrap();
+        assert_eq!(job.executable, "/bin/date");
+        assert_eq!(job.arguments, vec!["-u"]);
+        assert_eq!(job.count, 3);
+        assert_eq!(job.max_time, Some(Duration::from_secs(300)));
+        assert_eq!(job.job_type, JobType::Fork);
+    }
+
+    #[test]
+    fn paper_info_query_concatenation() {
+        // §6.6: "(info=memory)(info=cpu)"
+        let r = XrslRequest::from_text("(info=memory)(info=cpu)").unwrap();
+        assert_eq!(r.kind(), RequestKind::Info);
+        assert_eq!(
+            r.info,
+            vec![
+                InfoSelector::Keyword("memory".to_string()),
+                InfoSelector::Keyword("cpu".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn info_all_and_schema() {
+        let r = XrslRequest::from_text("(info=all)").unwrap();
+        assert_eq!(r.info, vec![InfoSelector::All]);
+        let r = XrslRequest::from_text("(info=schema)").unwrap();
+        assert_eq!(r.info, vec![InfoSelector::Schema]);
+    }
+
+    #[test]
+    fn response_modes() {
+        for (src, want) in [
+            ("(info=cpu)(response=immediate)", ResponseMode::Immediate),
+            ("(info=cpu)(response=cached)", ResponseMode::Cached),
+            ("(info=cpu)(response=last)", ResponseMode::Last),
+            ("(info=cpu)", ResponseMode::Cached),
+        ] {
+            assert_eq!(XrslRequest::from_text(src).unwrap().response, want);
+        }
+        assert!(XrslRequest::from_text("(info=cpu)(response=sometimes)").is_err());
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(
+            XrslRequest::from_text("(info=cpu)(format=xml)")
+                .unwrap()
+                .format,
+            OutputFormat::Xml
+        );
+        assert_eq!(
+            XrslRequest::from_text("(info=cpu)").unwrap().format,
+            OutputFormat::Ldif,
+            "LDIF is the MDS-compatible default"
+        );
+        assert_eq!(
+            XrslRequest::from_text("(info=cpu)(format=dsml)")
+                .unwrap()
+                .format,
+            OutputFormat::Dsml
+        );
+        assert!(XrslRequest::from_text("(info=cpu)(format=asn1)").is_err());
+    }
+
+    #[test]
+    fn quality_threshold() {
+        let r = XrslRequest::from_text("(info=cpuload)(quality=75)").unwrap();
+        assert_eq!(r.quality, Some(75.0));
+        assert!(XrslRequest::from_text("(info=x)(quality=150)").is_err());
+        assert!(XrslRequest::from_text("(info=x)(quality=-1)").is_err());
+        assert!(XrslRequest::from_text("(info=x)(quality=high)").is_err());
+    }
+
+    #[test]
+    fn performance_flag() {
+        assert!(XrslRequest::from_text("(info=cpu)(performance=true)")
+            .unwrap()
+            .performance);
+        assert!(!XrslRequest::from_text("(info=cpu)").unwrap().performance);
+        assert!(XrslRequest::from_text("(info=cpu)(performance=maybe)").is_err());
+    }
+
+    #[test]
+    fn paper_timeout_action_example() {
+        // §6.6: (executable=command)(timeout=1000)(action=cancel)
+        let r = XrslRequest::from_text("(executable=command)(timeout=1000)(action=cancel)")
+            .unwrap();
+        assert_eq!(r.timeout, Some(Duration::from_millis(1000)));
+        assert_eq!(r.timeout_action, TimeoutAction::Cancel);
+        let r = XrslRequest::from_text("(executable=c)(timeout=500)(action=exception)")
+            .unwrap();
+        assert_eq!(r.timeout_action, TimeoutAction::Exception);
+    }
+
+    #[test]
+    fn jar_executable_is_jarlet() {
+        // §7: (executable=myJavaApplication.jar)
+        let r = XrslRequest::from_text("(executable=myJavaApplication.jar)").unwrap();
+        assert_eq!(r.job.unwrap().job_type, JobType::Jarlet);
+    }
+
+    #[test]
+    fn explicit_jobtype_overrides_inference() {
+        let r = XrslRequest::from_text("&(executable=thing.jar)(jobtype=fork)").unwrap();
+        assert_eq!(r.job.unwrap().job_type, JobType::Fork);
+        assert!(XrslRequest::from_text("&(executable=x)(jobtype=warp)").is_err());
+    }
+
+    #[test]
+    fn environment_pairs() {
+        let r = XrslRequest::from_text(
+            "&(executable=x)(environment=(HOME /home/g)(LANG C))",
+        )
+        .unwrap();
+        assert_eq!(
+            r.job.unwrap().environment,
+            vec![
+                ("HOME".to_string(), "/home/g".to_string()),
+                ("LANG".to_string(), "C".to_string())
+            ]
+        );
+        assert!(XrslRequest::from_text("&(executable=x)(environment=flat)").is_err());
+    }
+
+    #[test]
+    fn requirements_pairs() {
+        let r = XrslRequest::from_text(
+            "&(executable=x)(jobtype=batch)(requirements=(os linux)(arch x86))",
+        )
+        .unwrap();
+        let job = r.job.unwrap();
+        assert_eq!(job.job_type, JobType::Batch);
+        assert_eq!(job.requirements.len(), 2);
+    }
+
+    #[test]
+    fn both_kind_detected() {
+        let r = XrslRequest::from_text("&(executable=/bin/ls)(info=cpu)").unwrap();
+        assert_eq!(r.kind(), RequestKind::Both);
+    }
+
+    #[test]
+    fn empty_kind() {
+        let r = XrslRequest::from_text("(format=xml)").unwrap();
+        assert_eq!(r.kind(), RequestKind::Empty);
+    }
+
+    #[test]
+    fn multi_request_expansion() {
+        let rs =
+            XrslRequest::parse_all("+(&(executable=a))(&(info=cpu))").unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].kind(), RequestKind::Job);
+        assert_eq!(rs[1].kind(), RequestKind::Info);
+        // from_spec on a Multi directly errors.
+        let spec = crate::parser::parse("+(&(executable=a))").unwrap();
+        assert!(matches!(
+            XrslRequest::from_spec(&spec),
+            Err(XrslError::Structure(_))
+        ));
+    }
+
+    #[test]
+    fn count_validation() {
+        assert!(XrslRequest::from_text("&(executable=x)(count=0)").is_err());
+        assert!(XrslRequest::from_text("&(executable=x)(count=-2)").is_err());
+        assert!(XrslRequest::from_text("&(executable=x)(count=many)").is_err());
+    }
+
+    #[test]
+    fn restart_on_fail() {
+        let r = XrslRequest::from_text("&(executable=x)(restartonfail=3)").unwrap();
+        assert_eq!(r.job.unwrap().restart_on_fail, 3);
+    }
+
+    #[test]
+    fn filter_tag() {
+        let r = XrslRequest::from_text("(info=memory)(filter=Memory:free)").unwrap();
+        assert_eq!(r.filter.as_deref(), Some("Memory:free"));
+    }
+}

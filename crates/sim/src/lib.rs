@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Simulation substrate for the InfoGram reproduction.
+//!
+//! The 2002 InfoGram paper ran on a real Globus testbed: real hosts, real
+//! wall-clock time, real Unix commands. None of that substrate exists here,
+//! so every time-, randomness-, and network-dependent piece of the system is
+//! written against the abstractions in this crate instead:
+//!
+//! * [`Clock`] — a time source that is either the operating-system clock
+//!   ([`SystemClock`]) or a manually advanced virtual clock
+//!   ([`ManualClock`]). All TTL caching, information degradation,
+//!   authorization contracts, and performance catalogs in the upper crates
+//!   take a `Clock`, which makes every test deterministic and lets the
+//!   benchmarks sweep hours of simulated cache behaviour in milliseconds.
+//! * [`rng::SplitMix64`] — a tiny, seedable, reproducible PRNG plus the
+//!   distributions the workload models need.
+//! * [`net`] — latency/jitter/loss models for the simulated network links
+//!   used by the in-memory transport.
+//! * [`stats`] — streaming mean/stddev (Welford) and percentile summaries
+//!   used by the performance tag (§6.6 of the paper) and by the benchmark
+//!   harness.
+//! * [`workload`] — open- and closed-loop arrival processes for the
+//!   client populations driving the experiments.
+
+pub mod clock;
+pub mod metrics;
+pub mod net;
+pub mod rng;
+pub mod stats;
+pub mod workload;
+
+pub use clock::{Clock, ManualClock, SharedClock, SimTime, SystemClock};
+pub use rng::SplitMix64;
+pub use stats::{Summary, Welford};

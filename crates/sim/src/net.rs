@@ -1,0 +1,222 @@
+//! Simulated network links.
+//!
+//! The in-memory transport in `infogram-proto` charges every message a
+//! delay drawn from a [`LatencyModel`] and may drop it according to a loss
+//! probability, so the protocol-count experiments (Figures 2–4) can show
+//! how connection and handshake overhead scales with link quality without a
+//! real network.
+
+use crate::rng::SplitMix64;
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// How long a message takes to traverse a link.
+#[derive(Debug, Clone)]
+pub enum LatencyModel {
+    /// Zero-delay, loopback-like link.
+    Instant,
+    /// Every message takes exactly this long.
+    Fixed(Duration),
+    /// Uniform in `[min, max]`.
+    Uniform {
+        /// Smallest possible delay.
+        min: Duration,
+        /// Largest possible delay.
+        max: Duration,
+    },
+    /// Normal with the given mean and stddev, truncated at zero.
+    Normal {
+        /// Mean delay.
+        mean: Duration,
+        /// Delay standard deviation.
+        std_dev: Duration,
+    },
+}
+
+impl LatencyModel {
+    /// Draw one one-way delay.
+    pub fn sample(&self, rng: &mut SplitMix64) -> Duration {
+        match self {
+            LatencyModel::Instant => Duration::ZERO,
+            LatencyModel::Fixed(d) => *d,
+            LatencyModel::Uniform { min, max } => {
+                let lo = min.as_secs_f64();
+                let hi = max.as_secs_f64().max(lo);
+                Duration::from_secs_f64(rng.uniform(lo, hi))
+            }
+            LatencyModel::Normal { mean, std_dev } => {
+                let x = rng.normal(mean.as_secs_f64(), std_dev.as_secs_f64());
+                Duration::from_secs_f64(x.max(0.0))
+            }
+        }
+    }
+}
+
+/// A simulated bidirectional link: latency model, loss probability, and
+/// running traffic accounting.
+#[derive(Debug)]
+pub struct Link {
+    latency: LatencyModel,
+    loss_probability: f64,
+    state: Mutex<LinkState>,
+}
+
+#[derive(Debug, Default)]
+struct LinkState {
+    rng: Option<SplitMix64>,
+    messages: u64,
+    bytes: u64,
+    dropped: u64,
+}
+
+/// The verdict for one message offered to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver after the contained delay.
+    After(Duration),
+    /// The link dropped the message.
+    Dropped,
+}
+
+impl Link {
+    /// A perfect, zero-latency link (the default for tests).
+    pub fn ideal() -> Self {
+        Link::new(LatencyModel::Instant, 0.0, 0)
+    }
+
+    /// A link with the given latency model, loss probability in `[0,1]`,
+    /// and RNG seed.
+    pub fn new(latency: LatencyModel, loss_probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&loss_probability),
+            "loss probability out of range"
+        );
+        Link {
+            latency,
+            loss_probability,
+            state: Mutex::new(LinkState {
+                rng: Some(SplitMix64::new(seed)),
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// Offer a message of `bytes` bytes to the link; returns the delivery
+    /// verdict and updates the accounting.
+    pub fn transmit(&self, bytes: usize) -> Delivery {
+        let mut st = self.state.lock();
+        let rng = st.rng.as_mut().expect("rng present");
+        let dropped = {
+            let p = self.loss_probability;
+            p > 0.0 && rng.chance(p)
+        };
+        if dropped {
+            st.dropped += 1;
+            return Delivery::Dropped;
+        }
+        let delay = {
+            let rng = st.rng.as_mut().expect("rng present");
+            self.latency.sample(rng)
+        };
+        st.messages += 1;
+        st.bytes += bytes as u64;
+        Delivery::After(delay)
+    }
+
+    /// Messages successfully carried.
+    pub fn messages(&self) -> u64 {
+        self.state.lock().messages
+    }
+
+    /// Bytes successfully carried.
+    pub fn bytes(&self) -> u64 {
+        self.state.lock().bytes
+    }
+
+    /// Messages dropped.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_link_delivers_immediately() {
+        let link = Link::ideal();
+        match link.transmit(100) {
+            Delivery::After(d) => assert_eq!(d, Duration::ZERO),
+            Delivery::Dropped => panic!("ideal link dropped"),
+        }
+        assert_eq!(link.messages(), 1);
+        assert_eq!(link.bytes(), 100);
+        assert_eq!(link.dropped(), 0);
+    }
+
+    #[test]
+    fn fixed_latency() {
+        let link = Link::new(LatencyModel::Fixed(Duration::from_millis(5)), 0.0, 1);
+        for _ in 0..10 {
+            assert_eq!(
+                link.transmit(1),
+                Delivery::After(Duration::from_millis(5))
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_latency_within_bounds() {
+        let link = Link::new(
+            LatencyModel::Uniform {
+                min: Duration::from_millis(1),
+                max: Duration::from_millis(3),
+            },
+            0.0,
+            2,
+        );
+        for _ in 0..1000 {
+            match link.transmit(1) {
+                Delivery::After(d) => {
+                    assert!(d >= Duration::from_millis(1) && d <= Duration::from_millis(3))
+                }
+                Delivery::Dropped => panic!("unexpected drop"),
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_link_drops_about_right() {
+        let link = Link::new(LatencyModel::Instant, 0.3, 3);
+        for _ in 0..10_000 {
+            let _ = link.transmit(1);
+        }
+        let rate = link.dropped() as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "drop rate {rate}");
+    }
+
+    #[test]
+    fn normal_latency_nonnegative() {
+        let link = Link::new(
+            LatencyModel::Normal {
+                mean: Duration::from_micros(10),
+                std_dev: Duration::from_micros(50),
+            },
+            0.0,
+            4,
+        );
+        for _ in 0..1000 {
+            match link.transmit(1) {
+                Delivery::After(_) => {}
+                Delivery::Dropped => panic!("unexpected drop"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn rejects_bad_loss() {
+        let _ = Link::new(LatencyModel::Instant, 1.5, 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: one host, one InfoGram service, one client.
+//!
+//! Shows the paper's core move — the *same* connection and protocol
+//! serving an information query and a job submission.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use infogram::quickstart::Sandbox;
+use infogram::rsl::OutputFormat;
+use infogram_client::QueryBuilder;
+use std::time::Duration;
+
+fn main() {
+    let sandbox = Sandbox::start();
+    let mut client = sandbox.connect_client();
+    println!("connected to InfoGram at {}", sandbox.addr());
+    println!("authenticated as {}\n", client.gram().context().local);
+
+    // --- information query (Table 1 keyword, LDIF = MDS-compatible) ---
+    println!("== (info=memory) — LDIF ==");
+    let memory = client.info("Memory").expect("memory query");
+    print!("{}", memory.body);
+
+    // --- same keyword, XML, with performance statistics ---
+    println!("\n== (info=cpu)(format=xml)(performance=true) ==");
+    let cpu = client
+        .query(
+            &QueryBuilder::new()
+                .keyword("CPU")
+                .format(OutputFormat::Xml)
+                .performance(),
+        )
+        .expect("cpu query");
+    print!("{}", cpu.body);
+
+    // --- service reflection ---
+    println!("\n== (info=schema) — first entry ==");
+    let schema = client
+        .query(&QueryBuilder::new().schema().format(OutputFormat::Plain))
+        .expect("schema query");
+    for line in schema.body.lines().take(10) {
+        println!("{line}");
+    }
+
+    // --- job submission over the very same connection ---
+    println!("\n== job: (executable=/bin/date)(arguments=-u) ==");
+    let handle = client
+        .submit("&(executable=/bin/date)(arguments=-u)", false)
+        .expect("submit");
+    println!("job handle: {handle}");
+    let (state, exit, output) = client
+        .wait_terminal(&handle, Duration::from_millis(5), Duration::from_secs(10))
+        .expect("job finishes");
+    println!("state: {state}, exit: {exit:?}");
+    print!("output: {output}");
+
+    println!("\n== grid accounting (from the logging service) ==");
+    print!(
+        "{}",
+        infogram::core::accounting::render_report(&sandbox.service.accounting())
+    );
+
+    sandbox.shutdown();
+}

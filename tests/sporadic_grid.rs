@@ -1,0 +1,136 @@
+//! The §8 application: a *sporadic grid*.
+//!
+//! "Such a Grid is created just for a short period of time during
+//! sophisticated experiments at synchrotrons or photon sources." We
+//! bring up several InfoGram nodes on demand, aggregate their
+//! information, run a scan–acquire–analyze pipeline of sandboxed jarlet
+//! jobs (the computationally-mediated-science shape: scan a specimen,
+//! acquire a diffraction pattern per point, analyze variation), then
+//! tear the grid down.
+
+use infogram::core::mds_bridge;
+use infogram::mds::filter::Filter;
+use infogram::mds::giis::Giis;
+use infogram::proto::message::JobStateCode;
+use infogram::quickstart::{Sandbox, SandboxConfig};
+use infogram::sim::SystemClock;
+use std::time::Duration;
+
+fn node(name: &str, seed: u64) -> Sandbox {
+    Sandbox::start_with(SandboxConfig {
+        hostname: name.to_string(),
+        seed,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn sporadic_grid_end_to_end() {
+    // ---- bring the grid up: three beamline nodes ----
+    let nodes: Vec<Sandbox> = (0..3)
+        .map(|i| node(&format!("beamline{i:02}.aps.anl.gov"), 9000 + i as u64))
+        .collect();
+
+    // ---- aggregate their information into a VO-level GIIS ----
+    let giis = Giis::new(SystemClock::shared(), Duration::from_secs(10));
+    for n in &nodes {
+        mds_bridge::register_into(&n.service, &giis);
+    }
+    assert_eq!(giis.member_count(), 3);
+
+    // Find the least-loaded node through the aggregate (the scheduling
+    // decision a sporadic-grid controller makes).
+    let entries = giis.search_all(&Filter::parse("(kw=CPULoad)").unwrap());
+    assert_eq!(entries.len(), 3);
+    let chosen = entries
+        .iter()
+        .min_by(|a, b| {
+            let la: f64 = a.first("CPULoad-load").unwrap().parse().unwrap();
+            let lb: f64 = b.first("CPULoad-load").unwrap().parse().unwrap();
+            la.partial_cmp(&lb).unwrap()
+        })
+        .unwrap();
+    let target_host = chosen.first("hn").unwrap();
+    let target = nodes
+        .iter()
+        .find(|n| n.host.hostname() == target_host)
+        .unwrap();
+
+    // ---- stage the experiment pipeline on the chosen node ----
+    target.host.fs.write(
+        "/data/specimen.dat",
+        "simulated 2D field of view",
+    );
+    target.host.fs.write(
+        "/home/gregor/scan.jar",
+        "read /data/specimen.dat; compute 20; write /tmp/points scan-grid; print scanned",
+    );
+    target.host.fs.write(
+        "/home/gregor/acquire.jar",
+        "read /data/specimen.dat; compute 30; write /tmp/patterns diffraction; print acquired",
+    );
+    target.host.fs.write(
+        "/home/gregor/analyze.jar",
+        "compute 40; write /tmp/result domain-motion-analysis; print analyzed",
+    );
+    // The restrictive default policy reads /data and writes /tmp — the
+    // pipeline stays inside it.
+
+    // ---- run the pipeline ----
+    let mut client = target.connect_client();
+    let t0 = std::time::Instant::now();
+    let mut first_job_done = None;
+    for stage in ["scan", "acquire", "analyze"] {
+        let handle = client
+            .submit(&format!("(executable=/home/gregor/{stage}.jar)"), false)
+            .unwrap();
+        let (state, exit, output) = client
+            .wait_terminal(&handle, Duration::from_millis(5), Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(state, JobStateCode::Done, "{stage} failed: {output}");
+        assert_eq!(exit, Some(0));
+        if first_job_done.is_none() {
+            first_job_done = Some(t0.elapsed());
+        }
+    }
+    let makespan = t0.elapsed();
+    assert!(first_job_done.unwrap() <= makespan);
+
+    // The pipeline's artifacts landed on the node.
+    assert_eq!(
+        target.host.fs.read_text("/tmp/result").unwrap(),
+        "domain-motion-analysis"
+    );
+
+    // Interleave a monitoring query mid-experiment — same connection.
+    let q = client.info("Memory").unwrap();
+    assert_eq!(q.record_count, 1);
+
+    // ---- accounting, then tear the sporadic grid down ----
+    let summary = target.service.accounting();
+    assert_eq!(summary["gregor"].submitted, 3);
+    assert_eq!(summary["gregor"].completed, 3);
+    for n in &nodes {
+        n.shutdown();
+    }
+}
+
+#[test]
+fn aggregate_keeps_serving_while_a_node_leaves() {
+    // Sporadic grids shrink: a member's departure must not break the
+    // aggregate's cached view.
+    let a = node("sp-a.grid", 11);
+    let b = node("sp-b.grid", 12);
+    let giis = Giis::new(SystemClock::shared(), Duration::from_secs(3600));
+    mds_bridge::register_into(&a.service, &giis);
+    mds_bridge::register_into(&b.service, &giis);
+    // Warm the aggregate cache.
+    let before = giis.search_all(&Filter::parse("(kw=Memory)").unwrap());
+    assert_eq!(before.len(), 2);
+    // Node b leaves abruptly.
+    b.shutdown();
+    // The cached view still answers (staleness is the price, as MDS 2.0).
+    let after = giis.search_all(&Filter::parse("(kw=Memory)").unwrap());
+    assert_eq!(after.len(), 2);
+    a.shutdown();
+}

@@ -1,0 +1,92 @@
+//! The same service over real TCP.
+//!
+//! Everything else in the suite uses the deterministic in-memory network;
+//! this file proves the stack also runs over `std::net` sockets — frames,
+//! handshake, info queries and jobs included.
+
+use infogram::core::{InfoGramParams, InfoGramService};
+use infogram::exec::sandbox::{ExecMode, Policy};
+use infogram::exec::wal::Wal;
+use infogram::gsi::{Authorizer, CertificateAuthority, Dn, GridMap};
+use infogram::host::commands::{ChargeMode, CommandRegistry};
+use infogram::host::machine::SimulatedHost;
+use infogram::info::config::ServiceConfig;
+use infogram::proto::transport::tcp::TcpTransport;
+use infogram::proto::message::JobStateCode;
+use infogram::sim::metrics::MetricSet;
+use infogram::sim::{SimTime, SplitMix64, SystemClock};
+use infogram_client::InfoGramClient;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn full_stack_over_tcp() {
+    let clock = SystemClock::shared();
+    let mut rng = SplitMix64::new(4242);
+    let ca = CertificateAuthority::new_root(
+        &Dn::user("Grid", "CA", "TCP Root"),
+        &mut rng,
+        SimTime::ZERO,
+        Duration::from_secs(86_400),
+    );
+    let user = ca.issue(
+        &Dn::user("Grid", "ANL", "TcpUser"),
+        &mut rng,
+        SimTime::ZERO,
+        Duration::from_secs(3600),
+    );
+    let service_cred = ca.issue(
+        &Dn::user("Grid", "Hosts", "127.0.0.1"),
+        &mut rng,
+        SimTime::ZERO,
+        Duration::from_secs(3600),
+    );
+    let roots = vec![ca.certificate().clone()];
+    let mut gridmap = GridMap::new();
+    gridmap.add(Dn::user("Grid", "ANL", "TcpUser"), &["tcpuser"]);
+
+    let host = SimulatedHost::default_on(clock.clone());
+    let registry = CommandRegistry::new(host, ChargeMode::Sleep);
+    let transport = TcpTransport::new();
+    let service = InfoGramService::start(
+        InfoGramParams {
+            service_name: "infogram-tcp".to_string(),
+            bind_addr: "127.0.0.1:0".to_string(),
+            config: ServiceConfig::table1(),
+            sandbox_policy: Policy::restrictive(),
+            sandbox_mode: ExecMode::Isolated,
+            credential: service_cred,
+            trust_roots: roots.clone(),
+            authorizer: Arc::new(Authorizer::gridmap_only(gridmap)),
+        },
+        registry,
+        vec![],
+        Wal::in_memory(),
+        &transport,
+        clock.clone(),
+        MetricSet::new(),
+    )
+    .unwrap();
+
+    let mut client =
+        InfoGramClient::connect(&transport, service.addr(), &user, &roots, clock).unwrap();
+
+    // Information query over real sockets.
+    let result = client.info("Memory").unwrap();
+    assert_eq!(result.record_count, 1);
+    assert!(result.records[0].get("Memory:total").is_some());
+
+    // Job over real sockets.
+    let handle = client
+        .submit("(executable=simwork)(arguments=30)", false)
+        .unwrap();
+    let (state, exit, _) = client
+        .wait_terminal(&handle, Duration::from_millis(5), Duration::from_secs(10))
+        .unwrap();
+    assert_eq!(state, JobStateCode::Done);
+    assert_eq!(exit, Some(0));
+
+    // Traffic was really metered by the TCP transport.
+    assert!(transport.metrics().counter_value("net.bytes") > 0);
+    service.shutdown();
+}
