@@ -19,7 +19,7 @@ fn run(members: usize, cache_ttl: Duration) -> (u64, f64) {
     use infogram_host::machine::{HostConfig, SimulatedHost};
     use infogram_info::config::ServiceConfig;
     use infogram_info::service::InformationService;
-    use infogram_sim::metrics::MetricSet;
+    use infogram_obs::MetricSet;
     use infogram_sim::ManualClock;
 
     // All members share one manual clock so the sweep is deterministic;

@@ -10,7 +10,7 @@
 use infogram::quickstart::{Sandbox, SandboxConfig};
 use infogram_bench::{banner, fmt_secs, table};
 use infogram_client::GramClient;
-use infogram_sim::Summary;
+use infogram_obs::Summary;
 use std::time::{Duration, Instant};
 
 fn main() {

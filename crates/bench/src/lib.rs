@@ -13,7 +13,7 @@ use infogram_host::commands::{ChargeMode, CommandRegistry};
 use infogram_host::machine::{HostConfig, SimulatedHost};
 use infogram_info::config::ServiceConfig;
 use infogram_info::service::InformationService;
-use infogram_sim::metrics::MetricSet;
+use infogram_obs::MetricSet;
 use infogram_sim::ManualClock;
 use std::sync::Arc;
 

@@ -14,7 +14,8 @@
 
 use infogram::quickstart::{Sandbox, SandboxConfig};
 use infogram_sim::workload::MixedWorkload;
-use infogram_sim::{SplitMix64, Summary};
+use infogram_obs::Summary;
+use infogram_sim::SplitMix64;
 use std::time::{Duration, Instant};
 
 /// What one run of the workload produced.

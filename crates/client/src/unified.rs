@@ -219,6 +219,12 @@ impl InfoGramClient {
         self.query(&QueryBuilder::new().keyword(keyword))
     }
 
+    /// Convenience: the service's live telemetry — `(info=metrics)`,
+    /// answered by the built-in self-describing `Metrics:` keyword.
+    pub fn metrics(&mut self) -> Result<QueryResult, ClientError> {
+        self.info("metrics")
+    }
+
     /// Requests issued on this session.
     pub fn requests_sent(&self) -> u64 {
         self.gram.requests_sent()

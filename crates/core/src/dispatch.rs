@@ -13,6 +13,7 @@ use infogram_info::QueryError;
 use infogram_proto::message::{codes, Reply, Request};
 use infogram_proto::render;
 use infogram_rsl::{RequestKind, XrslRequest};
+use infogram_sim::SimTime;
 use std::sync::Arc;
 
 /// The InfoGram request dispatcher.
@@ -25,6 +26,12 @@ impl InfoGramDispatcher {
     /// Wire a job engine and an information service together.
     pub fn new(engine: Arc<JobEngine>, info: Arc<InformationService>) -> Arc<Self> {
         Arc::new(InfoGramDispatcher { engine, info })
+    }
+
+    /// The telemetry handle shared with the engine — the WS gateway and
+    /// the `Metrics:` provider instrument through it.
+    pub fn telemetry(&self) -> &infogram_sim::metrics::MetricSet {
+        self.engine.metrics()
     }
 
     /// Answer an information query.
@@ -65,6 +72,24 @@ impl InfoGramDispatcher {
             },
         }
     }
+
+    /// Record latency and outcome for one dispatched request: the elapsed
+    /// service-clock time goes into the `dispatch.<kind>` histogram and
+    /// the reply bumps `dispatch.<kind>.ok` or `dispatch.<kind>.err`.
+    fn observe(&self, kind: &str, start: SimTime, reply: Reply) -> Reply {
+        let telemetry = self.engine.metrics();
+        let elapsed = self.engine.clock().now().since(start);
+        telemetry.histogram(&format!("dispatch.{kind}")).record(elapsed);
+        let outcome = if matches!(reply, Reply::Error { .. }) {
+            "err"
+        } else {
+            "ok"
+        };
+        telemetry
+            .counter(&format!("dispatch.{kind}.{outcome}"))
+            .incr();
+        reply
+    }
 }
 
 impl RequestDispatcher for InfoGramDispatcher {
@@ -75,26 +100,38 @@ impl RequestDispatcher for InfoGramDispatcher {
         request: Request,
         subscribe: &mut dyn FnMut(u64),
     ) -> Reply {
+        let start = self.engine.clock().now();
         // Jobs, status, cancel, ping: identical to GRAM.
         if let Some(reply) =
             dispatch_job_request(&self.engine, owner, account, &request, subscribe)
         {
-            return reply;
+            let kind = match &request {
+                Request::Submit { .. } => "job",
+                Request::Status { .. } => "status",
+                Request::Cancel { .. } => "cancel",
+                Request::Ping => "ping",
+            };
+            return self.observe(kind, start, reply);
         }
-        // What remains is a Submit that is an info query (or empty).
+        // What remains is a Submit that is an info query (or empty/bad) —
+        // everything below is accounted under `dispatch.info`.
         let Request::Submit { rsl, .. } = &request else {
             unreachable!("dispatch_job_request answers everything but info submits");
         };
         let req = match XrslRequest::from_text(rsl) {
             Ok(r) => r,
             Err(e) => {
-                return Reply::Error {
-                    code: codes::BAD_RSL,
-                    message: e.to_string(),
-                }
+                return self.observe(
+                    "info",
+                    start,
+                    Reply::Error {
+                        code: codes::BAD_RSL,
+                        message: e.to_string(),
+                    },
+                )
             }
         };
-        match req.kind() {
+        let reply = match req.kind() {
             RequestKind::Info => self.dispatch_info(owner, account, &req),
             RequestKind::Empty => Reply::Error {
                 code: codes::BAD_RSL,
@@ -102,7 +139,8 @@ impl RequestDispatcher for InfoGramDispatcher {
             },
             // Job/Both were already answered by dispatch_job_request.
             _ => unreachable!("job kinds handled earlier"),
-        }
+        };
+        self.observe("info", start, reply)
     }
 }
 

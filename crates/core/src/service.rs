@@ -79,6 +79,10 @@ impl InfoGramService {
             clock.clone(),
             metrics.clone(),
         );
+        // The built-in self-describing keyword: `(info=metrics)` answers
+        // with a live snapshot of the telemetry handle every layer of
+        // this service writes into.
+        info.register_metrics_provider(metrics.clone());
 
         // Port for job handles: parse from the bind address when present.
         let (hostname, port) = match params.bind_addr.rsplit_once(':') {

@@ -273,15 +273,19 @@ impl WsGateway {
         let gw = Arc::clone(&gateway);
         let owner = owner.to_string();
         let account = account.to_string();
+        let telemetry = dispatcher.telemetry().clone();
         let handle = std::thread::spawn(move || {
             while gw.running.load(Ordering::SeqCst) {
                 let Ok(conn) = gw.listener.accept() else { break };
+                telemetry.counter("ws.connections").incr();
                 let conn: Arc<dyn Conn> = Arc::from(conn);
                 let dispatcher = Arc::clone(&dispatcher);
                 let owner = owner.clone();
                 let account = account.clone();
+                let telemetry = telemetry.clone();
                 std::thread::spawn(move || {
                     while let Ok(bytes) = conn.recv() {
+                        telemetry.counter("ws.requests").incr();
                     let reply = match std::str::from_utf8(&bytes)
                         .map_err(|_| err("not utf-8"))
                         .and_then(decode_request)

@@ -150,8 +150,10 @@ impl JobEngine {
         fork: Arc<dyn ExecBackend>,
         metrics: MetricSet,
     ) -> Arc<Self> {
+        let mut wal = wal;
         let recovered = RecoveredState::from_events(&wal.events());
         let epoch = recovered.last_epoch + 1;
+        wal.set_telemetry(metrics.clone());
         wal.record(&WalEvent::ServiceStarted { epoch });
         Arc::new(JobEngine {
             config,
@@ -209,6 +211,13 @@ impl JobEngine {
     /// The engine's metric sink.
     pub fn metrics(&self) -> &MetricSet {
         &self.metrics
+    }
+
+    /// The engine's time source. The dispatcher shares it so its latency
+    /// measurements live on the same (possibly virtual) timeline as job
+    /// deadlines.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
     }
 
     /// Register a watcher invoked on every job state change. Returns an
@@ -325,6 +334,11 @@ impl JobEngine {
             },
         );
         self.metrics.counter("jobs.submitted").incr();
+        self.metrics.event(
+            now.as_secs_f64(),
+            "job.state",
+            &format!("job {job_id}: submitted ({initial_state})"),
+        );
         let handle = self.handle_for(job_id);
         self.notify(&handle, initial_state);
         Ok(handle)
@@ -416,6 +430,7 @@ impl JobEngine {
             }
         };
         if new_state != entry.state {
+            let old_state = entry.state;
             entry.state = new_state;
             if new_state.is_terminal() {
                 let exit_code = match status {
@@ -428,6 +443,11 @@ impl JobEngine {
                     job_id,
                     state: new_state,
                 });
+                self.metrics.event(
+                    now.as_secs_f64(),
+                    "job.state",
+                    &format!("job {job_id}: {old_state} -> {new_state}"),
+                );
                 self.notify(&self.handle_for(job_id), new_state);
             }
         }
@@ -458,11 +478,12 @@ impl JobEngine {
                 host.fs.write(path, stderr_body);
             }
         }
+        let wall = now.since(entry.submitted_at);
         self.wal.record(&WalEvent::Finished {
             job_id,
             state,
             exit_code,
-            wall_seconds: now.since(entry.submitted_at).as_secs_f64(),
+            wall_seconds: wall.as_secs_f64(),
         });
         self.metrics
             .counter(match state {
@@ -471,6 +492,15 @@ impl JobEngine {
                 _ => "jobs.failed",
             })
             .incr();
+        // Backend execution latency (submission → terminal state, on the
+        // service clock).
+        self.metrics.histogram("jobs.wall").record(wall);
+        let exit = exit_code.map(|c| format!(" (exit {c})")).unwrap_or_default();
+        self.metrics.event(
+            now.as_secs_f64(),
+            "job.state",
+            &format!("job {job_id}: finished {state}{exit}"),
+        );
         self.notify(&self.handle_for(job_id), state);
     }
 
@@ -607,6 +637,11 @@ impl JobEngine {
                         state: initial,
                     });
                     self.metrics.counter("jobs.recovered").incr();
+                    self.metrics.event(
+                        self.clock.now().as_secs_f64(),
+                        "job.state",
+                        &format!("job {}: recovered ({initial})", job.job_id),
+                    );
                     restarted.push(job.job_id);
                 }
             }

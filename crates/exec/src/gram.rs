@@ -285,6 +285,18 @@ impl GramServer {
     }
 
     fn serve_connection(&self, conn: Arc<dyn Conn>, dispatcher: Arc<dyn RequestDispatcher>) {
+        let telemetry = self.engine.metrics().clone();
+        telemetry.counter("gram.connections").incr();
+        telemetry.gauge("gram.connections.active").add(1.0);
+        // Balance the active-connections gauge on every exit path.
+        struct ActiveGuard(infogram_sim::metrics::MetricSet);
+        impl Drop for ActiveGuard {
+            fn drop(&mut self) {
+                self.0.gauge("gram.connections.active").add(-1.0);
+            }
+        }
+        let _active = ActiveGuard(telemetry.clone());
+
         // ---- gatekeeper: 3-message mutual authentication ----
         let now = self.clock.now();
         let mut rng = SplitMix64::new(now.as_nanos() ^ 0x6a7e_5eed);
@@ -294,6 +306,7 @@ impl GramServer {
             {
                 Ok(x) => x,
                 Err(e) => {
+                    telemetry.counter("gram.auth_failures").incr();
                     let _ = conn.send(
                         &Reply::Error {
                             code: codes::AUTHENTICATION,
@@ -311,6 +324,7 @@ impl GramServer {
         let ctx = match wire_server_verify(&pending, &fin) {
             Ok(ctx) => ctx,
             Err(e) => {
+                telemetry.counter("gram.auth_failures").incr();
                 let _ = conn.send(
                     &Reply::Error {
                         code: codes::AUTHENTICATION,
@@ -327,6 +341,7 @@ impl GramServer {
         let decision = match self.authorizer.authorize(&ctx.peer, &resource, now) {
             Ok(d) => d,
             Err(e) => {
+                telemetry.counter("gram.auth_failures").incr();
                 let _ = conn.send(
                     &Reply::Error {
                         code: codes::AUTHORIZATION,
@@ -360,6 +375,7 @@ impl GramServer {
 
         // ---- request loop (ends when the client hangs up) ----
         while let Ok(bytes) = conn.recv() {
+            telemetry.counter("gram.requests").incr();
             let reply = match Request::decode(&bytes) {
                 Ok(request) => {
                     let mut subscribe = |job_id: u64| {

@@ -13,10 +13,12 @@
 //! per-account usage report.
 
 use infogram_proto::message::JobStateCode;
+use infogram_sim::metrics::MetricSet;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::PathBuf;
+use std::time::Instant;
 
 const SEP: char = '\x1f';
 
@@ -239,6 +241,7 @@ impl WalSink for FileWal {
 /// The logging service handle used by the engine.
 pub struct Wal {
     sink: Box<dyn WalSink>,
+    telemetry: Option<MetricSet>,
 }
 
 impl std::fmt::Debug for Wal {
@@ -250,7 +253,10 @@ impl std::fmt::Debug for Wal {
 impl Wal {
     /// A log over the given sink.
     pub fn new(sink: Box<dyn WalSink>) -> Self {
-        Wal { sink }
+        Wal {
+            sink,
+            telemetry: None,
+        }
     }
 
     /// An in-memory log.
@@ -258,9 +264,20 @@ impl Wal {
         Wal::new(Box::new(MemWal::new()))
     }
 
+    /// Attach a telemetry handle; every subsequent [`Wal::record`] times
+    /// its append (encode + write + flush, real wall time) into the
+    /// `wal.append` histogram.
+    pub fn set_telemetry(&mut self, telemetry: MetricSet) {
+        self.telemetry = Some(telemetry);
+    }
+
     /// Record an event.
     pub fn record(&self, event: &WalEvent) {
+        let start = Instant::now();
         self.sink.append(&event.encode());
+        if let Some(t) = &self.telemetry {
+            t.histogram("wal.append").record(start.elapsed());
+        }
     }
 
     /// Load and decode every recorded event, skipping corrupt lines.

@@ -17,6 +17,7 @@
 use crate::provider::{InfoProvider, ProviderError};
 use crate::quality::DegradationFn;
 use infogram_sim::clock::SharedClock;
+use infogram_sim::metrics::MetricSet;
 use infogram_sim::{SimTime, Welford};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
@@ -92,6 +93,8 @@ pub struct SystemInformation {
     perf: Mutex<Welford>,
     /// Real provider executions (cache misses / refreshes).
     executions: std::sync::atomic::AtomicU64,
+    /// Optional telemetry sink for monitor/throttle accounting.
+    telemetry: Mutex<Option<MetricSet>>,
 }
 
 impl std::fmt::Debug for SystemInformation {
@@ -124,7 +127,21 @@ impl SystemInformation {
             update_done: Condvar::new(),
             perf: Mutex::new(Welford::new()),
             executions: std::sync::atomic::AtomicU64::new(0),
+            telemetry: Mutex::new(None),
         })
+    }
+
+    /// Attach a telemetry sink. The monitor and the delay gate count the
+    /// calls they collapse into a cached result through it
+    /// (`info.coalesced` and `info.throttled`).
+    pub fn set_telemetry(&self, telemetry: MetricSet) {
+        *self.telemetry.lock() = Some(telemetry);
+    }
+
+    fn count(&self, name: &str) {
+        if let Some(t) = self.telemetry.lock().as_ref() {
+            t.counter(name).incr();
+        }
     }
 
     /// The keyword served.
@@ -223,6 +240,7 @@ impl SystemInformation {
                 // Monitor: wait for the in-flight update, then reuse it.
                 self.update_done.wait(&mut st);
                 if let Some(c) = &st.cached {
+                    self.count("info.coalesced");
                     return Ok(Snapshot {
                         keyword: self.keyword().to_string(),
                         attributes: c.attributes.clone(),
@@ -239,6 +257,7 @@ impl SystemInformation {
             if !delay.is_zero() {
                 if let (Some(last), Some(c)) = (st.last_update_started, st.cached.as_ref()) {
                     if self.clock.now().since(last) < delay {
+                        self.count("info.throttled");
                         return Ok(Snapshot {
                             keyword: self.keyword().to_string(),
                             attributes: c.attributes.clone(),

@@ -17,6 +17,7 @@
 use infogram_host::commands::{parse_kv_output, CommandRegistry};
 use infogram_host::machine::SimulatedHost;
 use infogram_host::procfs;
+use infogram_sim::metrics::MetricSet;
 use std::sync::Arc;
 
 /// Why a provider could not produce its information.
@@ -228,6 +229,42 @@ impl InfoProvider for FileProvider {
 
     fn source(&self) -> String {
         format!("file:{}", self.path)
+    }
+}
+
+/// The built-in `Metrics:` keyword — the service describing itself.
+///
+/// Flattens the shared telemetry handle's snapshot (counters, gauges,
+/// histogram quantiles, recorder means, recent events) into plain
+/// `(attribute, value)` pairs, so `(info=metrics)` travels through
+/// exactly the same caching, filtering, quality, and rendering machinery
+/// as every Table 1 keyword. Registered with a TTL of zero, it reads a
+/// live snapshot on every query.
+pub struct TelemetryProvider {
+    telemetry: MetricSet,
+}
+
+impl TelemetryProvider {
+    /// Canonical keyword of the self-describing telemetry entry.
+    pub const KEYWORD: &'static str = "Metrics";
+
+    /// A provider reading snapshots of the given telemetry handle.
+    pub fn new(telemetry: MetricSet) -> Self {
+        TelemetryProvider { telemetry }
+    }
+}
+
+impl InfoProvider for TelemetryProvider {
+    fn keyword(&self) -> &str {
+        Self::KEYWORD
+    }
+
+    fn produce(&self) -> Result<Vec<(String, String)>, ProviderError> {
+        Ok(self.telemetry.snapshot_attrs())
+    }
+
+    fn source(&self) -> String {
+        "telemetry snapshot".to_string()
     }
 }
 

@@ -7,7 +7,8 @@
 
 use crate::config::ServiceConfig;
 use crate::entry::{QueryError, Snapshot, SystemInformation};
-use crate::provider::CommandProvider;
+use crate::provider::{CommandProvider, TelemetryProvider};
+use crate::quality::DegradationFn;
 use crate::schema::Schema;
 use infogram_host::commands::CommandRegistry;
 use infogram_proto::record::InfoRecord;
@@ -113,11 +114,35 @@ impl InformationService {
         service
     }
 
-    /// Register a keyword entry (replacing any same-keyword entry).
+    /// Register a keyword entry (replacing any same-keyword entry). The
+    /// entry is wired into this service's telemetry, so its monitor and
+    /// delay gate contribute to `info.coalesced` / `info.throttled`.
     pub fn register(&self, si: Arc<SystemInformation>) {
+        si.set_telemetry(self.metrics.clone());
         self.entries
             .write()
             .insert(si.keyword().to_ascii_lowercase(), si);
+    }
+
+    /// Register the built-in `Metrics:` keyword over the given telemetry
+    /// handle — the service describing itself through its own query path.
+    ///
+    /// The entry has a TTL of zero (Table 1's "execute every time"
+    /// convention), so each `(info=metrics)` reads a live snapshot; all
+    /// the xRSL tags (`filter`, `response`, `format`, `performance`)
+    /// apply to it like to any other keyword. Returns the entry.
+    pub fn register_metrics_provider(
+        &self,
+        telemetry: MetricSet,
+    ) -> Arc<SystemInformation> {
+        let si = SystemInformation::new(
+            Box::new(TelemetryProvider::new(telemetry)),
+            self.clock.clone(),
+            std::time::Duration::ZERO,
+            DegradationFn::default(),
+        );
+        self.register(Arc::clone(&si));
+        si
     }
 
     /// Hostname this service describes.
@@ -170,6 +195,7 @@ impl InformationService {
             },
             _ => false,
         };
+        let before = self.clock.now();
         let snap = if quality_forces_refresh {
             self.metrics.counter("info.quality_refreshes").incr();
             si.update_state()?
@@ -180,11 +206,30 @@ impl InformationService {
                 ResponseMode::Last => si.last_state()?,
             }
         };
+        let kw = si.keyword();
         if snap.from_cache {
             self.metrics.counter("info.cache_hits").incr();
+            self.metrics.counter(&format!("info.hits.{kw}")).incr();
+            // A cached answer older than the TTL (only `(response=last)`
+            // or the delay throttle can produce one) is served stale.
+            let age = self.clock.now().since(snap.produced_at);
+            if !si.ttl().is_zero() && age >= si.ttl() {
+                self.metrics.counter(&format!("info.stale.{kw}")).incr();
+            }
         } else {
             self.metrics.counter("info.refreshes").incr();
+            self.metrics.counter(&format!("info.misses.{kw}")).incr();
+            // Refresh latency on the service clock (simulated command
+            // costs advance it; free commands record zero).
+            self.metrics
+                .histogram("info.refresh")
+                .record(self.clock.now().since(before));
         }
+        // Remaining validity of what is now cached — the TTL-expiry
+        // countdown a monitoring client watches.
+        self.metrics
+            .gauge(&format!("info.validity_ms.{kw}"))
+            .set(si.validity().as_millis() as f64);
         Ok(snap)
     }
 

@@ -1,0 +1,131 @@
+//! Bounded ring buffer of recent structured events.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// One structured event: a job changed state, a WAL segment was synced, a
+/// cache entry expired. Events carry strings rather than an enum so every
+/// layer can emit them without this crate knowing the layers exist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number, starting at 1; never reused, so a
+    /// consumer can detect how many events it missed after the ring
+    /// wrapped.
+    pub seq: u64,
+    /// Service-clock timestamp, in seconds since the service epoch.
+    pub at_secs: f64,
+    /// Short machine-readable category, e.g. `job.state` or `wal.sync`.
+    pub kind: String,
+    /// Human-readable detail, e.g. `job 7: Active -> Done`.
+    pub detail: String,
+}
+
+/// A fixed-capacity ring of the most recent [`Event`]s. Old events are
+/// dropped, never reallocated over; memory use is bounded by construction.
+#[derive(Debug)]
+pub struct EventRing {
+    inner: Mutex<RingInner>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct RingInner {
+    events: VecDeque<Event>,
+    next_seq: u64,
+}
+
+/// Default ring capacity when none is chosen explicitly.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+impl Default for EventRing {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            inner: Mutex::new(RingInner {
+                events: VecDeque::with_capacity(capacity),
+                next_seq: 1,
+            }),
+            capacity,
+        }
+    }
+
+    /// Append an event, evicting the oldest if the ring is full. Returns
+    /// the event's sequence number.
+    pub fn push(&self, at_secs: f64, kind: &str, detail: &str) -> u64 {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(Event {
+            seq,
+            at_secs,
+            kind: kind.to_string(),
+            detail: detail.to_string(),
+        });
+        seq
+    }
+
+    /// The retained events, oldest first.
+    pub fn recent(&self) -> Vec<Event> {
+        self.inner.lock().events.iter().cloned().collect()
+    }
+
+    /// Total number of events ever pushed (including evicted ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.inner.lock().next_seq - 1
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_recent_preserve_order() {
+        let ring = EventRing::with_capacity(8);
+        ring.push(0.5, "job.state", "job 1: Pending -> Active");
+        ring.push(0.9, "job.state", "job 1: Active -> Done");
+        let events = ring.recent();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 1);
+        assert_eq!(events[1].seq, 2);
+        assert!(events[1].detail.contains("Done"));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_keeps_seq() {
+        let ring = EventRing::with_capacity(3);
+        for i in 0..10 {
+            ring.push(i as f64, "tick", &format!("event {i}"));
+        }
+        let events = ring.recent();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 8);
+        assert_eq!(events[2].seq, 10);
+        assert_eq!(ring.total_pushed(), 10);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let ring = EventRing::with_capacity(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(0.0, "a", "first");
+        ring.push(0.0, "b", "second");
+        assert_eq!(ring.recent().len(), 1);
+        assert_eq!(ring.recent()[0].kind, "b");
+    }
+}

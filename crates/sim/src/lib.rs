@@ -27,9 +27,9 @@ pub mod clock;
 pub mod metrics;
 pub mod net;
 pub mod rng;
-pub mod stats;
 pub mod workload;
 
 pub use clock::{Clock, ManualClock, SharedClock, SimTime, SystemClock};
+pub use infogram_obs::stats;
 pub use rng::SplitMix64;
 pub use stats::{Summary, Welford};

@@ -1,211 +1,9 @@
-//! Lightweight experiment metrics.
+//! Re-exports of the telemetry instruments, which moved to
+//! [`infogram_obs`] when observability became a first-class subsystem.
 //!
-//! A [`MetricSet`] is a named bag of counters and latency recorders shared
-//! between the services and the benchmark harness. Services increment
-//! counters ("connections_opened", "handshakes", "backend_execs"); the
-//! harness reads them out into the printed tables of EXPERIMENTS.md.
+//! The benchmark harness and older call sites keep using
+//! `infogram_sim::metrics::MetricSet`; new code should depend on
+//! `infogram-obs` directly and use [`infogram_obs::Telemetry`], of which
+//! [`MetricSet`] is an alias.
 
-use crate::stats::{Summary, Welford};
-use parking_lot::Mutex;
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
-
-/// A monotonically increasing counter.
-#[derive(Debug, Default)]
-pub struct Counter(AtomicU64);
-
-impl Counter {
-    /// Increment by one.
-    pub fn incr(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Increment by `n`.
-    pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-}
-
-/// A recorder that stores raw samples (seconds) for later summarization.
-#[derive(Debug, Default)]
-pub struct Recorder {
-    samples: Mutex<Vec<f64>>,
-    welford: Mutex<Welford>,
-}
-
-impl Recorder {
-    /// Record one sample, in seconds.
-    pub fn record(&self, secs: f64) {
-        self.samples.lock().push(secs);
-        self.welford.lock().record(secs);
-    }
-
-    /// Record a duration.
-    pub fn record_duration(&self, d: Duration) {
-        self.record(d.as_secs_f64());
-    }
-
-    /// Number of samples recorded.
-    pub fn count(&self) -> u64 {
-        self.welford.lock().count()
-    }
-
-    /// Streaming mean without materializing a summary.
-    pub fn mean(&self) -> f64 {
-        self.welford.lock().mean()
-    }
-
-    /// Snapshot all samples into a percentile summary.
-    pub fn summary(&self) -> Summary {
-        Summary::from_samples(self.samples.lock().clone())
-    }
-}
-
-/// A named, shareable set of counters and recorders.
-///
-/// Looking up a name that does not exist creates it, so instrumentation
-/// points never need registration boilerplate.
-#[derive(Debug, Default, Clone)]
-pub struct MetricSet {
-    inner: Arc<MetricsInner>,
-}
-
-#[derive(Debug, Default)]
-struct MetricsInner {
-    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
-    recorders: Mutex<BTreeMap<String, Arc<Recorder>>>,
-}
-
-impl MetricSet {
-    /// A fresh, empty metric set.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Get (or create) the counter with this name.
-    pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.inner.counters.lock();
-        Arc::clone(
-            map.entry(name.to_string())
-                .or_insert_with(|| Arc::new(Counter::default())),
-        )
-    }
-
-    /// Get (or create) the latency recorder with this name.
-    pub fn recorder(&self, name: &str) -> Arc<Recorder> {
-        let mut map = self.inner.recorders.lock();
-        Arc::clone(
-            map.entry(name.to_string())
-                .or_insert_with(|| Arc::new(Recorder::default())),
-        )
-    }
-
-    /// Current value of a counter (0 if it was never touched).
-    pub fn counter_value(&self, name: &str) -> u64 {
-        self.inner
-            .counters
-            .lock()
-            .get(name)
-            .map(|c| c.get())
-            .unwrap_or(0)
-    }
-
-    /// Names and values of all counters, sorted by name.
-    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
-        self.inner
-            .counters
-            .lock()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.get()))
-            .collect()
-    }
-
-    /// Names of all recorders, sorted.
-    pub fn recorder_names(&self) -> Vec<String> {
-        self.inner.recorders.lock().keys().cloned().collect()
-    }
-
-    /// Summary of a recorder (empty summary if never touched).
-    pub fn recorder_summary(&self, name: &str) -> Summary {
-        self.inner
-            .recorders
-            .lock()
-            .get(name)
-            .map(|r| r.summary())
-            .unwrap_or_else(|| Summary::from_samples(vec![]))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn counters_accumulate() {
-        let m = MetricSet::new();
-        m.counter("jobs").incr();
-        m.counter("jobs").add(4);
-        assert_eq!(m.counter_value("jobs"), 5);
-        assert_eq!(m.counter_value("never"), 0);
-    }
-
-    #[test]
-    fn counters_shared_across_clones() {
-        let m = MetricSet::new();
-        let m2 = m.clone();
-        m.counter("x").incr();
-        m2.counter("x").incr();
-        assert_eq!(m.counter_value("x"), 2);
-    }
-
-    #[test]
-    fn recorder_summary_reflects_samples() {
-        let m = MetricSet::new();
-        let r = m.recorder("lat");
-        r.record(1.0);
-        r.record(3.0);
-        assert_eq!(r.count(), 2);
-        assert!((r.mean() - 2.0).abs() < 1e-12);
-        let s = m.recorder_summary("lat");
-        assert_eq!(s.count(), 2);
-        assert!((s.median() - 2.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn snapshot_sorted_by_name() {
-        let m = MetricSet::new();
-        m.counter("b").incr();
-        m.counter("a").add(2);
-        let snap = m.counters_snapshot();
-        assert_eq!(
-            snap,
-            vec![("a".to_string(), 2), ("b".to_string(), 1)]
-        );
-    }
-
-    #[test]
-    fn concurrent_increments() {
-        let m = MetricSet::new();
-        let threads: Vec<_> = (0..8)
-            .map(|_| {
-                let m = m.clone();
-                std::thread::spawn(move || {
-                    for _ in 0..1000 {
-                        m.counter("c").incr();
-                    }
-                })
-            })
-            .collect();
-        for t in threads {
-            t.join().unwrap();
-        }
-        assert_eq!(m.counter_value("c"), 8000);
-    }
-}
+pub use infogram_obs::{Counter, MetricSet, Recorder};

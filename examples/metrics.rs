@@ -1,0 +1,57 @@
+//! Self-describing observability: `(info=metrics)`.
+//!
+//! Every layer of the service — the dispatcher, the connection handlers,
+//! the information cache, the job engine and its write-ahead log — writes
+//! into one shared telemetry handle. The built-in `Metrics:` keyword
+//! exposes that handle through the *same* xRSL query path as every other
+//! keyword, so a grid client can ask a service how it is doing with the
+//! protocol it already speaks.
+//!
+//! ```text
+//! cargo run --example metrics
+//! ```
+
+use infogram::quickstart::Sandbox;
+use infogram_client::QueryBuilder;
+use std::time::Duration;
+
+fn main() {
+    let sandbox = Sandbox::start();
+    let mut client = sandbox.connect_client();
+    println!("connected to InfoGram at {}\n", sandbox.addr());
+
+    // Generate some traffic for the telemetry to describe: two info
+    // queries (a cache miss, then a hit) and one job run to completion.
+    client.info("Memory").expect("memory query");
+    client.info("Memory").expect("memory query (cached)");
+    let handle = client
+        .submit("(executable=simwork)(arguments=20)", false)
+        .expect("submit");
+    client
+        .wait_terminal(
+            &handle,
+            Duration::from_millis(5),
+            Duration::from_secs(10),
+        )
+        .expect("job finishes");
+
+    // The service describes itself. TTL is zero for this keyword, so the
+    // answer is always a live snapshot, never a cached one.
+    println!("== (info=metrics) ==");
+    let metrics = client.metrics().expect("metrics query");
+    print!("{}", metrics.body);
+
+    // The §6.6 extension tags apply to Metrics: records like any other:
+    // narrow the answer to one attribute with (filter=...).
+    println!("\n== (info=metrics)(filter=Metrics:jobs.done) ==");
+    let one = client
+        .query(
+            &QueryBuilder::new()
+                .keyword("metrics")
+                .filter("Metrics:jobs.done"),
+        )
+        .expect("filtered metrics query");
+    print!("{}", one.body);
+
+    sandbox.shutdown();
+}

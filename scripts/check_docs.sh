@@ -1,0 +1,23 @@
+#!/bin/sh
+# Documentation and lint gate for the workspace.
+#
+# - `cargo doc` with rustdoc warnings promoted to errors: catches missing
+#   docs on public items (core, info and obs build with
+#   `#![warn(missing_docs)]`) and broken intra-doc links everywhere.
+# - `cargo clippy -D warnings`: the workspace is expected to be
+#   clippy-clean.
+#
+# Works fully offline — all external dependencies are vendored under
+# shims/ (see shims/README.md), so no registry access is needed.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo doc --workspace --no-deps (warnings are errors)"
+RUSTDOCFLAGS="${RUSTDOCFLAGS:--D warnings}" cargo doc --workspace --no-deps
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> docs and lints clean"

@@ -1,0 +1,284 @@
+//! Offline stand-in for [`bytes`](https://crates.io/crates/bytes).
+//!
+//! The build environment for this repository has no access to crates.io
+//! (see `shims/README.md`), so the workspace vendors a minimal,
+//! API-compatible subset of the `bytes` surface it actually uses:
+//! the [`Buf`]/[`BufMut`] traits and the [`Bytes`]/[`BytesMut`]
+//! containers, backed by plain `Vec<u8>` (no zero-copy reference
+//! counting — `copy_to_bytes` really copies, which is also what the
+//! real crate does for non-contiguous sources).
+//!
+//! Multi-byte integers use network byte order (big-endian), matching
+//! the real crate's `get_u32`/`put_u32` family.
+
+use std::fmt;
+
+/// Read access to a cursor over a byte buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skip `cnt` consumed bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consume one byte.
+    ///
+    /// # Panics
+    /// Panics if the buffer is empty.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Consume a big-endian `u32`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 4 bytes remain.
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(raw)
+    }
+
+    /// Consume a big-endian `i32`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 4 bytes remain.
+    fn get_i32(&mut self) -> i32 {
+        self.get_u32() as i32
+    }
+
+    /// Consume `len` bytes into an owned [`Bytes`].
+    ///
+    /// # Panics
+    /// Panics if fewer than `len` bytes remain.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = Bytes::copy_from_slice(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
+}
+
+/// Append access to a growable byte buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, n: u8) {
+        self.put_slice(&[n]);
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, n: u32) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Append a big-endian `i32`.
+    fn put_i32(&mut self, n: i32) {
+        self.put_slice(&n.to_be_bytes());
+    }
+}
+
+/// An immutable byte buffer that consumes from the front via [`Buf`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Create an empty buffer.
+    pub const fn new() -> Self {
+        Bytes {
+            data: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Create a buffer holding a copy of `src`.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes {
+            data: src.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Unconsumed length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy the unconsumed bytes into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "advance past end of buffer");
+        self.pos += cnt;
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref() {
+            write!(f, "{}", std::ascii::escape_default(b))?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer that appends via [`BufMut`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Create an empty buffer.
+    pub const fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// Create an empty buffer with at least `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut(Vec::with_capacity(capacity))
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copy the contents into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.0,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(buf: BytesMut) -> Self {
+        buf.0
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref() {
+            write!(f, "{}", std::ascii::escape_default(b))?;
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_roundtrip_is_big_endian() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(0xAB);
+        buf.put_u32(0x0102_0304);
+        buf.put_i32(-2);
+        assert_eq!(
+            buf.as_ref(),
+            &[0xAB, 1, 2, 3, 4, 0xFF, 0xFF, 0xFF, 0xFE][..]
+        );
+
+        let mut rd = Bytes::copy_from_slice(buf.as_ref());
+        assert_eq!(rd.remaining(), 9);
+        assert_eq!(rd.get_u8(), 0xAB);
+        assert_eq!(rd.get_u32(), 0x0102_0304);
+        assert_eq!(rd.get_i32(), -2);
+        assert!(!rd.has_remaining());
+    }
+
+    #[test]
+    fn copy_to_bytes_consumes_prefix() {
+        let mut rd = Bytes::copy_from_slice(b"hello world");
+        let hello = rd.copy_to_bytes(5);
+        assert_eq!(hello.to_vec(), b"hello");
+        assert_eq!(rd.to_vec(), b" world");
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut rd = Bytes::copy_from_slice(b"x");
+        rd.advance(2);
+    }
+
+    #[test]
+    fn freeze_preserves_contents() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"abc");
+        assert_eq!(buf.freeze().to_vec(), b"abc");
+    }
+}

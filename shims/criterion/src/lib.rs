@@ -1,0 +1,146 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment for this repository has no access to crates.io
+//! (see `shims/README.md`), so the workspace vendors a minimal,
+//! API-compatible subset of the `criterion` surface its benches use:
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::bench_function`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], and [`BatchSize`].
+//!
+//! Instead of criterion's full statistical pipeline, each benchmark is
+//! warmed up briefly, then timed over a fixed measurement window; the
+//! mean per-iteration time is printed. Good enough to spot order-of-
+//! magnitude regressions by eye; not a substitute for the real crate.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How per-iteration setup cost relates to the routine cost. The shim
+/// runs one setup per iteration regardless, so the variants only exist
+/// for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small relative to the routine.
+    SmallInput,
+    /// Setup output is large relative to the routine.
+    LargeInput,
+    /// Run each routine exactly once per setup.
+    PerIteration,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, recorded by `iter`/`iter_batched`.
+    mean_ns: f64,
+    iterations: u64,
+}
+
+const WARM_UP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Time `routine`, discarding its output via `black_box`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARM_UP {
+            black_box(routine());
+        }
+        let mut iterations = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE {
+            black_box(routine());
+            iterations += 1;
+        }
+        let elapsed = start.elapsed();
+        self.iterations = iterations;
+        self.mean_ns = elapsed.as_nanos() as f64 / iterations.max(1) as f64;
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; only the routine
+    /// would be timed by real criterion, so the shim subtracts nothing
+    /// but keeps setup outside the semantics the caller relies on
+    /// (each call gets a fresh input).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARM_UP {
+            black_box(routine(setup()));
+        }
+        let mut iterations = 0u64;
+        let mut busy = Duration::ZERO;
+        let wall = Instant::now();
+        while wall.elapsed() < MEASURE {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            busy += start.elapsed();
+            iterations += 1;
+        }
+        self.iterations = iterations;
+        self.mean_ns = busy.as_nanos() as f64 / iterations.max(1) as f64;
+    }
+}
+
+/// Benchmark registry; collects results and prints them as it goes.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run `f` as a named benchmark and print its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            mean_ns: 0.0,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        println!(
+            "bench {name:<28} {:>12.1} ns/iter ({} iters)",
+            bencher.mean_ns, bencher.iterations
+        );
+        self
+    }
+}
+
+/// Bundle benchmark functions into a group runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` running the listed [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial/add", |b| b.iter(|| 1u64 + 1));
+        c.bench_function("trivial/batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group!(shim_group, trivial);
+
+    #[test]
+    fn group_runs_to_completion() {
+        shim_group();
+    }
+}

@@ -1,0 +1,768 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment for this repository has no access to crates.io
+//! (see `shims/README.md`), so the workspace vendors a minimal,
+//! API-compatible subset of the `proptest` surface its tests use:
+//!
+//! - the [`strategy::Strategy`] trait with `prop_map`, `prop_filter_map`,
+//!   `prop_recursive`, and `boxed`;
+//! - [`strategy::Just`], [`strategy::BoxedStrategy`], numeric-range and
+//!   tuple strategies, [`collection::vec`], [`option::of`], and
+//!   [`arbitrary::any`];
+//! - `&str` strategies interpreted as a small regex subset (character
+//!   classes, groups with alternation, `{m,n}` repetition, and the
+//!   `\PC` printable-character class);
+//! - the [`proptest!`], [`prop_oneof!`], [`prop_assert!`], and
+//!   [`prop_assert_eq!`] macros and [`test_runner::ProptestConfig`].
+//!
+//! Unlike the real crate there is **no shrinking** and no persisted
+//! failure seeds: generation is a deterministic function of the test
+//! name and case index, so a failing case reproduces on every run.
+
+/// Deterministic random generation and per-test configuration.
+pub mod test_runner {
+    /// Per-`proptest!` configuration. Only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases to run per test function.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` generated inputs per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// SplitMix64 generator; cheap, deterministic, and good enough for
+    /// test-input generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test name and case index so every case is
+        /// reproducible without any persistence.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the name, mixed with the case index.
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                state: seed ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+
+        /// Uniform value in `[lo, hi]`.
+        pub fn range_inclusive(&mut self, lo: u32, hi: u32) -> u32 {
+            lo + (self.next_u64() % (hi as u64 - lo as u64 + 1)) as u32
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and core combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Type-erase into a cloneable [`BoxedStrategy`].
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+        }
+
+        /// Transform each generated value through `f`.
+        fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+        where
+            Self: Sized + 'static,
+            F: Fn(Self::Value) -> U + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| f(self.generate(rng))))
+        }
+
+        /// Keep only values `f` maps to `Some`, regenerating otherwise.
+        /// Panics (citing `whence`) if 1000 consecutive draws are rejected.
+        fn prop_filter_map<U, F>(self, whence: &'static str, f: F) -> BoxedStrategy<U>
+        where
+            Self: Sized + 'static,
+            F: Fn(Self::Value) -> Option<U> + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| {
+                for _ in 0..1000 {
+                    if let Some(v) = f(self.generate(rng)) {
+                        return v;
+                    }
+                }
+                panic!("prop_filter_map rejected 1000 draws in a row: {whence}");
+            }))
+        }
+
+        /// Build a recursive strategy: `f` maps an "inner" strategy to a
+        /// branch strategy; generated trees nest at most `depth` levels
+        /// before bottoming out in `self` (the leaf strategy). The
+        /// `_desired_size`/`_expected_branch` hints are accepted for API
+        /// compatibility and ignored.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let branch = f(strat).boxed();
+                let leaf = leaf.clone();
+                strat = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                    // 1-in-3 leaves keep generated trees shallow on
+                    // average while still exercising every level.
+                    if rng.below(3) == 0 {
+                        leaf.generate(rng)
+                    } else {
+                        branch.generate(rng)
+                    }
+                }));
+            }
+            strat
+        }
+    }
+
+    /// A cloneable, type-erased strategy.
+    pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always generate a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives; backs `prop_oneof!`.
+    pub fn union<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        BoxedStrategy(Rc::new(move |rng| {
+            arms[rng.below(arms.len())].generate(rng)
+        }))
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128) - (self.start as i128);
+                    assert!(span > 0, "empty range strategy");
+                    (self.start as i128 + (rng.next_u64() as i128 % span)) as $t
+                }
+            }
+        )+};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident.$idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+/// `any::<T>()` — full-range generation for primitive types.
+pub mod arbitrary {
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy generating any value of `T`.
+    pub fn any<T: Arbitrary + 'static>() -> BoxedStrategy<T> {
+        BoxedStrategy::<T>(Rc::new(|rng: &mut TestRng| T::arbitrary(rng))).boxed()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// Generate a `Vec` whose length is uniform in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S>(element: S, size: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        assert!(size.end > size.start, "empty vec size range");
+        BoxedStrategy(Rc::new(move |rng| {
+            let n = size.start + rng.below(size.end - size.start);
+            (0..n).map(|_| element.generate(rng)).collect()
+        }))
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use std::rc::Rc;
+
+    /// Generate `None` about a quarter of the time, `Some` otherwise.
+    pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(inner.generate(rng))
+            }
+        }))
+    }
+}
+
+/// `&str` strategies: a pattern is parsed as a small regex subset and
+/// generates matching strings.
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// One quantified element of a pattern.
+    struct Item {
+        node: Node,
+        min: u32,
+        max: u32,
+    }
+
+    enum Node {
+        Lit(char),
+        /// Expanded candidate set (classes, `.`, `\PC`).
+        Class(Vec<char>),
+        /// `(alt|alt|…)`.
+        Group(Vec<Vec<Item>>),
+    }
+
+    /// Printable characters used for `.`, `\PC`, and as the universe of
+    /// negated classes: printable ASCII plus a few multibyte characters
+    /// so UTF-8 handling gets exercised.
+    fn printable() -> Vec<char> {
+        let mut set: Vec<char> = (' '..='~').collect();
+        set.extend(['é', 'Ω', '☃']);
+        set
+    }
+
+    struct Parser<'a> {
+        pattern: &'a str,
+        chars: Vec<char>,
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn new(pattern: &'a str) -> Self {
+            Parser {
+                pattern,
+                chars: pattern.chars().collect(),
+                pos: 0,
+            }
+        }
+
+        fn fail(&self, what: &str) -> ! {
+            panic!(
+                "proptest shim: unsupported pattern {:?} at offset {}: {what}",
+                self.pattern, self.pos
+            );
+        }
+
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> char {
+            let c = self.chars[self.pos];
+            self.pos += 1;
+            c
+        }
+
+        fn parse_sequence(&mut self) -> Vec<Item> {
+            let mut items = Vec::new();
+            while let Some(c) = self.peek() {
+                if c == ')' || c == '|' {
+                    break;
+                }
+                let node = match self.bump() {
+                    '(' => {
+                        let mut alts = vec![self.parse_sequence()];
+                        while self.peek() == Some('|') {
+                            self.bump();
+                            alts.push(self.parse_sequence());
+                        }
+                        if self.peek() != Some(')') {
+                            self.fail("unclosed group");
+                        }
+                        self.bump();
+                        Node::Group(alts)
+                    }
+                    '[' => Node::Class(self.parse_class()),
+                    '\\' => self.parse_escape(),
+                    '.' => Node::Class(printable()),
+                    lit => Node::Lit(lit),
+                };
+                let (min, max) = self.parse_quantifier();
+                items.push(Item { node, min, max });
+            }
+            items
+        }
+
+        fn parse_escape(&mut self) -> Node {
+            match self.peek() {
+                Some('P') => {
+                    self.bump();
+                    if self.peek() != Some('C') {
+                        self.fail("only the \\PC category is supported");
+                    }
+                    self.bump();
+                    Node::Class(printable())
+                }
+                Some('r') => {
+                    self.bump();
+                    Node::Lit('\r')
+                }
+                Some('n') => {
+                    self.bump();
+                    Node::Lit('\n')
+                }
+                Some('t') => {
+                    self.bump();
+                    Node::Lit('\t')
+                }
+                Some(c) if !c.is_alphanumeric() => {
+                    self.bump();
+                    Node::Lit(c)
+                }
+                _ => self.fail("unsupported escape"),
+            }
+        }
+
+        fn parse_class(&mut self) -> Vec<char> {
+            let negated = if self.peek() == Some('^') {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            let mut set = Vec::new();
+            loop {
+                let c = match self.peek() {
+                    None => self.fail("unclosed character class"),
+                    Some(']') => {
+                        self.bump();
+                        break;
+                    }
+                    Some('\\') => {
+                        self.bump();
+                        match self.parse_escape() {
+                            Node::Lit(c) => c,
+                            _ => self.fail("category escape inside class"),
+                        }
+                    }
+                    Some(_) => self.bump(),
+                };
+                // `a-z` range, unless `-` is the final character.
+                if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                    self.bump();
+                    let hi = match self.peek() {
+                        Some('\\') => {
+                            self.bump();
+                            match self.parse_escape() {
+                                Node::Lit(c) => c,
+                                _ => self.fail("category escape inside class"),
+                            }
+                        }
+                        Some(_) => self.bump(),
+                        None => self.fail("unclosed range"),
+                    };
+                    if hi < c {
+                        self.fail("inverted class range");
+                    }
+                    set.extend(c..=hi);
+                } else {
+                    set.push(c);
+                }
+            }
+            if negated {
+                let set: Vec<char> = printable().into_iter().filter(|c| !set.contains(c)).collect();
+                if set.is_empty() {
+                    self.fail("negated class excludes everything");
+                }
+                set
+            } else {
+                if set.is_empty() {
+                    self.fail("empty character class");
+                }
+                set
+            }
+        }
+
+        fn parse_quantifier(&mut self) -> (u32, u32) {
+            match self.peek() {
+                Some('{') => {
+                    self.bump();
+                    let min = self.parse_number();
+                    let max = match self.peek() {
+                        Some(',') => {
+                            self.bump();
+                            self.parse_number()
+                        }
+                        _ => min,
+                    };
+                    if self.peek() != Some('}') {
+                        self.fail("unclosed quantifier");
+                    }
+                    self.bump();
+                    if max < min {
+                        self.fail("inverted quantifier");
+                    }
+                    (min, max)
+                }
+                Some('?') => {
+                    self.bump();
+                    (0, 1)
+                }
+                Some('*') => {
+                    self.bump();
+                    (0, 8)
+                }
+                Some('+') => {
+                    self.bump();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        }
+
+        fn parse_number(&mut self) -> u32 {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+            if self.pos == start {
+                self.fail("expected a number");
+            }
+            self.chars[start..self.pos]
+                .iter()
+                .collect::<String>()
+                .parse()
+                .unwrap()
+        }
+    }
+
+    fn generate_items(items: &[Item], rng: &mut TestRng, out: &mut String) {
+        for item in items {
+            let reps = rng.range_inclusive(item.min, item.max);
+            for _ in 0..reps {
+                match &item.node {
+                    Node::Lit(c) => out.push(*c),
+                    Node::Class(set) => out.push(set[rng.below(set.len())]),
+                    Node::Group(alts) => {
+                        generate_items(&alts[rng.below(alts.len())], rng, out)
+                    }
+                }
+            }
+        }
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut parser = Parser::new(self);
+            let items = parser.parse_sequence();
+            if parser.pos != parser.chars.len() {
+                parser.fail("dangling `)` or `|`");
+            }
+            let mut out = String::new();
+            generate_items(&items, rng, &mut out);
+            out
+        }
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Mirrors `proptest::prelude::prop`, the module-tree shorthand.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assert inside a `proptest!` body (plain `assert!` in the shim: no
+/// shrinking, so failures panic immediately with the deterministic case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Define property tests: each `fn name(binding in strategy, …) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($binding:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            for case in 0..config.cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $(let $binding =
+                    $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!(($config); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("shim-selftest", 0)
+    }
+
+    #[test]
+    fn string_patterns_match_their_shape() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[A-Z][A-Z0-9_]{0,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9);
+            assert!(s.chars().next().unwrap().is_ascii_uppercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'));
+
+            let s = "[^\\r\\n]{0,24}".generate(&mut rng);
+            assert!(!s.contains('\r') && !s.contains('\n'));
+            assert!(s.chars().count() <= 24);
+
+            let s = "(/|/\\./){0,3}".generate(&mut rng);
+            let mut rest = s.as_str();
+            let mut parts = 0;
+            while !rest.is_empty() {
+                rest = rest
+                    .strip_prefix("/./")
+                    .or_else(|| rest.strip_prefix('/'))
+                    .expect("only / and /./ segments");
+                parts += 1;
+            }
+            assert!(parts <= 3);
+
+            let s = "\\PC{0,64}".generate(&mut rng);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let (a, b, c) = (1u64..50, -128i32..128, 0.0f64..1.0).generate(&mut rng);
+            assert!((1..50).contains(&a));
+            assert!((-128..128).contains(&b));
+            assert!((0.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf(u64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u64..10).prop_map(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = rng();
+        for _ in 0..200 {
+            assert!(depth(&strat.generate(&mut rng)) <= 3);
+        }
+    }
+
+    #[test]
+    fn filter_map_retries_until_accepted() {
+        let strat = (0u64..100).prop_filter_map("even only", |n| {
+            (n % 2 == 0).then_some(n)
+        });
+        let mut rng = rng();
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: bindings, config, oneof, option, assertions.
+        #[test]
+        fn macro_end_to_end(
+            n in prop_oneof![Just(1u64), 2u64..10],
+            opt in prop::option::of(any::<bool>()),
+            s in "[a-z]{1,8}",
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            if let Some(b) = opt {
+                prop_assert_eq!(b, b);
+            }
+        }
+    }
+}

@@ -67,9 +67,10 @@ fn provider_failure_does_not_poison_the_cache() {
     let _ = client.info("Broken");
     let r = client.info("Memory").unwrap();
     assert_eq!(r.record_count, 1);
-    // Schema reflection still covers all seven keywords.
+    // Schema reflection still covers all seven configured keywords plus
+    // the built-in Metrics: entry.
     let schema = client.query_rsl("(info=schema)").unwrap();
-    assert_eq!(schema.record_count, 7);
+    assert_eq!(schema.record_count, 8);
     sandbox.shutdown();
 }
 

@@ -60,10 +60,14 @@ fn info_all_and_schema() {
     let sandbox = Sandbox::start();
     let mut client = sandbox.connect_client();
     let all = client.query(&QueryBuilder::new().all()).unwrap();
-    assert_eq!(all.record_count, 5, "all five Table 1 keywords");
+    assert_eq!(
+        all.record_count, 6,
+        "five Table 1 keywords plus the built-in Metrics:"
+    );
     let schema = client.query(&QueryBuilder::new().schema()).unwrap();
-    assert_eq!(schema.record_count, 5);
+    assert_eq!(schema.record_count, 6);
     assert!(schema.body.contains("Schema.Date"));
+    assert!(schema.body.contains("Schema.Metrics"));
     assert!(schema.body.contains("degradation"));
     sandbox.shutdown();
 }
