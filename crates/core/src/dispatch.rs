@@ -13,19 +13,53 @@ use infogram_info::QueryError;
 use infogram_proto::message::{codes, Reply, Request};
 use infogram_proto::render;
 use infogram_rsl::{RequestKind, XrslRequest};
+use infogram_sim::metrics::{Counter, Histogram};
 use infogram_sim::SimTime;
 use std::sync::Arc;
+
+/// Interned per-request-kind instrument handles (`dispatch.<kind>`
+/// histogram plus `.ok`/`.err` counters), resolved once at construction
+/// so the dispatch hot path never formats a metric name.
+struct KindMetrics {
+    latency: Arc<Histogram>,
+    ok: Arc<Counter>,
+    err: Arc<Counter>,
+}
+
+impl KindMetrics {
+    fn intern(telemetry: &infogram_sim::metrics::MetricSet, kind: &str) -> Self {
+        KindMetrics {
+            latency: telemetry.histogram(&format!("dispatch.{kind}")),
+            ok: telemetry.counter(&format!("dispatch.{kind}.ok")),
+            err: telemetry.counter(&format!("dispatch.{kind}.err")),
+        }
+    }
+}
 
 /// The InfoGram request dispatcher.
 pub struct InfoGramDispatcher {
     engine: Arc<JobEngine>,
     info: Arc<InformationService>,
+    job: KindMetrics,
+    status: KindMetrics,
+    cancel: KindMetrics,
+    ping: KindMetrics,
+    info_kind: KindMetrics,
 }
 
 impl InfoGramDispatcher {
     /// Wire a job engine and an information service together.
     pub fn new(engine: Arc<JobEngine>, info: Arc<InformationService>) -> Arc<Self> {
-        Arc::new(InfoGramDispatcher { engine, info })
+        let t = engine.metrics().clone();
+        Arc::new(InfoGramDispatcher {
+            job: KindMetrics::intern(&t, "job"),
+            status: KindMetrics::intern(&t, "status"),
+            cancel: KindMetrics::intern(&t, "cancel"),
+            ping: KindMetrics::intern(&t, "ping"),
+            info_kind: KindMetrics::intern(&t, "info"),
+            engine,
+            info,
+        })
     }
 
     /// The telemetry handle shared with the engine — the WS gateway and
@@ -75,19 +109,16 @@ impl InfoGramDispatcher {
 
     /// Record latency and outcome for one dispatched request: the elapsed
     /// service-clock time goes into the `dispatch.<kind>` histogram and
-    /// the reply bumps `dispatch.<kind>.ok` or `dispatch.<kind>.err`.
-    fn observe(&self, kind: &str, start: SimTime, reply: Reply) -> Reply {
-        let telemetry = self.engine.metrics();
+    /// the reply bumps `dispatch.<kind>.ok` or `dispatch.<kind>.err` —
+    /// all through handles interned at construction.
+    fn observe(&self, kind: &KindMetrics, start: SimTime, reply: Reply) -> Reply {
         let elapsed = self.engine.clock().now().since(start);
-        telemetry.histogram(&format!("dispatch.{kind}")).record(elapsed);
-        let outcome = if matches!(reply, Reply::Error { .. }) {
-            "err"
+        kind.latency.record(elapsed);
+        if matches!(reply, Reply::Error { .. }) {
+            kind.err.incr();
         } else {
-            "ok"
-        };
-        telemetry
-            .counter(&format!("dispatch.{kind}.{outcome}"))
-            .incr();
+            kind.ok.incr();
+        }
         reply
     }
 }
@@ -106,10 +137,10 @@ impl RequestDispatcher for InfoGramDispatcher {
             dispatch_job_request(&self.engine, owner, account, &request, subscribe)
         {
             let kind = match &request {
-                Request::Submit { .. } => "job",
-                Request::Status { .. } => "status",
-                Request::Cancel { .. } => "cancel",
-                Request::Ping => "ping",
+                Request::Submit { .. } => &self.job,
+                Request::Status { .. } => &self.status,
+                Request::Cancel { .. } => &self.cancel,
+                Request::Ping => &self.ping,
             };
             return self.observe(kind, start, reply);
         }
@@ -122,7 +153,7 @@ impl RequestDispatcher for InfoGramDispatcher {
             Ok(r) => r,
             Err(e) => {
                 return self.observe(
-                    "info",
+                    &self.info_kind,
                     start,
                     Reply::Error {
                         code: codes::BAD_RSL,
@@ -140,7 +171,7 @@ impl RequestDispatcher for InfoGramDispatcher {
             // Job/Both were already answered by dispatch_job_request.
             _ => unreachable!("job kinds handled earlier"),
         };
-        self.observe("info", start, reply)
+        self.observe(&self.info_kind, start, reply)
     }
 }
 

@@ -11,7 +11,8 @@
 use crate::service::{InfoServiceError, InformationService, QueryOptions};
 use infogram_proto::record::InfoRecord;
 use infogram_rsl::InfoSelector;
-use infogram_sim::metrics::MetricSet;
+use infogram_sim::metrics::{Counter, MetricSet};
+use infogram_sim::par;
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -20,6 +21,8 @@ pub struct Aggregate {
     name: String,
     members: RwLock<Vec<Arc<InformationService>>>,
     metrics: MetricSet,
+    /// Interned `aggregate.fanout` handle (one member answer = one tick).
+    fanout: Arc<Counter>,
 }
 
 impl std::fmt::Debug for Aggregate {
@@ -34,16 +37,23 @@ impl std::fmt::Debug for Aggregate {
 impl Aggregate {
     /// An empty aggregate for a virtual organization.
     pub fn new(name: &str, metrics: MetricSet) -> Arc<Self> {
+        let fanout = metrics.counter("aggregate.fanout");
         Arc::new(Aggregate {
             name: name.to_string(),
             members: RwLock::new(Vec::new()),
             metrics,
+            fanout,
         })
     }
 
     /// The virtual organization name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The aggregate's metric sink.
+    pub fn metrics(&self) -> &MetricSet {
+        &self.metrics
     }
 
     /// Register a member service.
@@ -67,9 +77,16 @@ impl Aggregate {
     }
 
     /// Fan a query out to every member that can answer it; concatenates
-    /// the per-host records. Members lacking a requested keyword are
-    /// skipped (an aggregate is sparse by nature); a query no member can
-    /// answer returns `UnknownKeyword`.
+    /// the per-host records (member registration order within each
+    /// selector, selectors in request order). Members lacking a requested
+    /// keyword are skipped (an aggregate is sparse by nature); a query no
+    /// member can answer returns `UnknownKeyword`.
+    ///
+    /// Members are polled concurrently through the scoped fan-out pool —
+    /// one slow member no longer serializes the whole virtual
+    /// organization — and the gather step preserves the sequential
+    /// record order. On failure the error of the earliest (by member
+    /// order) failing member is returned.
     pub fn query(
         &self,
         selectors: &[InfoSelector],
@@ -78,23 +95,24 @@ impl Aggregate {
         let members = self.members.read().clone();
         let mut records = Vec::new();
         for sel in selectors {
-            let mut answered = false;
-            for member in &members {
-                let can_answer = match sel {
-                    InfoSelector::Keyword(k) => member.lookup(k).is_some(),
+            let able: Vec<&Arc<InformationService>> = members
+                .iter()
+                .filter(|m| match sel {
+                    InfoSelector::Keyword(k) => m.lookup(k).is_some(),
                     _ => true,
-                };
-                if !can_answer {
-                    continue;
-                }
-                self.metrics.counter("aggregate.fanout").incr();
-                records.extend(member.answer(std::slice::from_ref(sel), opts)?);
-                answered = true;
-            }
-            if !answered {
+                })
+                .collect();
+            if able.is_empty() {
                 if let InfoSelector::Keyword(k) = sel {
                     return Err(InfoServiceError::UnknownKeyword(k.clone()));
                 }
+                continue;
+            }
+            self.fanout.add(able.len() as u64);
+            let answers =
+                par::fan_out(&able, |_, m| m.answer(std::slice::from_ref(sel), opts));
+            for answer in answers {
+                records.extend(answer?);
             }
         }
         Ok(records)

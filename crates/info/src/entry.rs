@@ -17,19 +17,24 @@
 use crate::provider::{InfoProvider, ProviderError};
 use crate::quality::DegradationFn;
 use infogram_sim::clock::SharedClock;
-use infogram_sim::metrics::MetricSet;
+use infogram_sim::metrics::{Counter, MetricSet};
 use infogram_sim::{SimTime, Welford};
 use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// A point-in-time copy of a keyword's cached information.
+///
+/// The attribute list is shared (`Arc<[..]>`) with the cache it was read
+/// from, so taking a snapshot — and cloning one — never deep-copies the
+/// attribute vector. Cache hits, coalesced waiters, and `(response=last)`
+/// reads all alias the one list the provider produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
     /// The keyword.
     pub keyword: String,
-    /// `(attribute, value)` pairs as produced.
-    pub attributes: Vec<(String, String)>,
+    /// `(attribute, value)` pairs as produced, shared with the cache.
+    pub attributes: Arc<[(String, String)]>,
     /// When the value was produced.
     pub produced_at: SimTime,
     /// Whether this call was served from cache (no provider execution).
@@ -68,7 +73,7 @@ impl std::error::Error for QueryError {}
 
 #[derive(Debug, Clone)]
 struct CachedValue {
-    attributes: Vec<(String, String)>,
+    attributes: Arc<[(String, String)]>,
     produced_at: SimTime,
 }
 
@@ -79,6 +84,19 @@ struct EntryState {
     last_update_started: Option<SimTime>,
     /// Whether a provider execution is in flight (the monitor).
     updating: bool,
+    /// Bumped on every *successful* refresh, so a waiter woken by the
+    /// monitor can tell "the in-flight update produced a fresh value"
+    /// apart from "it failed and only an old value remains".
+    generation: u64,
+}
+
+/// Interned per-entry telemetry handles, resolved once when the entry is
+/// wired into a service so the monitor and the delay gate never format a
+/// metric name or take a registry lock on the query path.
+#[derive(Debug)]
+struct EntryTelemetry {
+    coalesced: Arc<Counter>,
+    throttled: Arc<Counter>,
 }
 
 /// A keyword's provider, cache, monitor, and performance catalog.
@@ -93,8 +111,9 @@ pub struct SystemInformation {
     perf: Mutex<Welford>,
     /// Real provider executions (cache misses / refreshes).
     executions: std::sync::atomic::AtomicU64,
-    /// Optional telemetry sink for monitor/throttle accounting.
-    telemetry: Mutex<Option<MetricSet>>,
+    /// Write-once telemetry handles for monitor/throttle accounting;
+    /// reading them is lock-free.
+    telemetry: OnceLock<EntryTelemetry>,
 }
 
 impl std::fmt::Debug for SystemInformation {
@@ -127,20 +146,34 @@ impl SystemInformation {
             update_done: Condvar::new(),
             perf: Mutex::new(Welford::new()),
             executions: std::sync::atomic::AtomicU64::new(0),
-            telemetry: Mutex::new(None),
+            telemetry: OnceLock::new(),
         })
     }
 
     /// Attach a telemetry sink. The monitor and the delay gate count the
     /// calls they collapse into a cached result through it
     /// (`info.coalesced` and `info.throttled`).
+    ///
+    /// The counter handles are interned here, once, so the hot path never
+    /// takes a lock or formats a metric name. The slot is write-once: the
+    /// first sink wins, and re-registering the same entry elsewhere keeps
+    /// reporting to the original sink.
     pub fn set_telemetry(&self, telemetry: MetricSet) {
-        *self.telemetry.lock() = Some(telemetry);
+        let _ = self.telemetry.set(EntryTelemetry {
+            coalesced: telemetry.counter("info.coalesced"),
+            throttled: telemetry.counter("info.throttled"),
+        });
     }
 
-    fn count(&self, name: &str) {
-        if let Some(t) = self.telemetry.lock().as_ref() {
-            t.counter(name).incr();
+    fn count_coalesced(&self) {
+        if let Some(t) = self.telemetry.get() {
+            t.coalesced.incr();
+        }
+    }
+
+    fn count_throttled(&self) {
+        if let Some(t) = self.telemetry.get() {
+            t.throttled.incr();
         }
     }
 
@@ -229,6 +262,10 @@ impl SystemInformation {
     ///
     /// * Concurrent calls coalesce: only one provider execution runs at a
     ///   time; waiters reuse its result.
+    /// * A waiter woken after a *failed* in-flight refresh does not blindly
+    ///   reuse whatever old value is cached: it serves the old value only
+    ///   while that value is still within its TTL, and otherwise retries
+    ///   the update itself (propagating its own error if that fails too).
     /// * The `delay` throttle serves the cached value if the last real
     ///   execution started less than `delay` ago — "useful in cases where
     ///   users ask for information more frequently than it can be
@@ -238,18 +275,39 @@ impl SystemInformation {
             let mut st = self.state.lock();
             if st.updating {
                 // Monitor: wait for the in-flight update, then reuse it.
+                let seen = st.generation;
                 self.update_done.wait(&mut st);
-                if let Some(c) = &st.cached {
-                    self.count("info.coalesced");
-                    return Ok(Snapshot {
-                        keyword: self.keyword().to_string(),
-                        attributes: c.attributes.clone(),
-                        produced_at: c.produced_at,
-                        from_cache: true,
-                    });
+                if st.generation != seen {
+                    // The in-flight update succeeded; reuse its fresh
+                    // result (even for TTL-0 entries — it is the result
+                    // of the very update this caller was waiting on).
+                    if let Some(c) = &st.cached {
+                        self.count_coalesced();
+                        return Ok(Snapshot {
+                            keyword: self.keyword().to_string(),
+                            attributes: Arc::clone(&c.attributes),
+                            produced_at: c.produced_at,
+                            from_cache: true,
+                        });
+                    }
                 }
-                // The in-flight update failed and there is no older value;
-                // try an update ourselves.
+                // The in-flight update failed. An older value may still be
+                // cached — serve it only while it is genuinely valid;
+                // handing out a long-expired value as a coalesced success
+                // would silently mask the failure.
+                if let Some(c) = &st.cached {
+                    let age = self.clock.now().since(c.produced_at);
+                    if !self.ttl.is_zero() && age < self.ttl {
+                        self.count_coalesced();
+                        return Ok(Snapshot {
+                            keyword: self.keyword().to_string(),
+                            attributes: Arc::clone(&c.attributes),
+                            produced_at: c.produced_at,
+                            from_cache: true,
+                        });
+                    }
+                }
+                // No valid value to fall back on; try an update ourselves.
                 continue;
             }
             // Delay gate.
@@ -257,10 +315,10 @@ impl SystemInformation {
             if !delay.is_zero() {
                 if let (Some(last), Some(c)) = (st.last_update_started, st.cached.as_ref()) {
                     if self.clock.now().since(last) < delay {
-                        self.count("info.throttled");
+                        self.count_throttled();
                         return Ok(Snapshot {
                             keyword: self.keyword().to_string(),
-                            attributes: c.attributes.clone(),
+                            attributes: Arc::clone(&c.attributes),
                             produced_at: c.produced_at,
                             from_cache: true,
                         });
@@ -281,11 +339,13 @@ impl SystemInformation {
             st.updating = false;
             match result {
                 Ok(attributes) => {
+                    let attributes: Arc<[(String, String)]> = attributes.into();
                     let produced_at = self.clock.now();
                     st.cached = Some(CachedValue {
-                        attributes: attributes.clone(),
+                        attributes: Arc::clone(&attributes),
                         produced_at,
                     });
+                    st.generation = st.generation.wrapping_add(1);
                     self.perf.lock().record_duration(elapsed);
                     self.update_done.notify_all();
                     return Ok(Snapshot {
@@ -493,6 +553,97 @@ mod tests {
         );
         assert_eq!(from_cache, 7, "seven waiters reuse the one result");
         assert_eq!(si.execution_count(), 1);
+    }
+
+    /// A provider that replays a scripted sequence of outcomes, sleeping
+    /// `delay_ms` of real time before each one.
+    fn scripted_provider(
+        outcomes: Vec<Result<u64, ()>>,
+        delay_ms: u64,
+    ) -> (Arc<AtomicU64>, Box<dyn InfoProvider>) {
+        let calls = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&calls);
+        let provider = Box::new(FnProvider::new("Scripted", move || {
+            let n = c2.fetch_add(1, Ordering::SeqCst) as usize;
+            if delay_ms > 0 {
+                std::thread::sleep(Duration::from_millis(delay_ms));
+            }
+            match outcomes.get(n).copied().unwrap_or(Err(())) {
+                Ok(v) => Ok(vec![("v".to_string(), v.to_string())]),
+                Err(()) => Err(ProviderError::Other("scripted failure".to_string())),
+            }
+        }));
+        (calls, provider)
+    }
+
+    #[test]
+    fn waiter_after_failed_refresh_retries_instead_of_serving_expired() {
+        // Script: 1st call caches v=1; 2nd (slow) call fails while a
+        // waiter coalesces on it; the waiter must notice the cached v=1
+        // is long expired, retry, and get the 3rd call's fresh v=3.
+        let clock = SystemClock::shared();
+        let (calls, provider) = scripted_provider(vec![Ok(1), Err(()), Ok(3)], 40);
+        let si = SystemInformation::new(
+            provider,
+            clock,
+            Duration::from_millis(10),
+            DegradationFn::default(),
+        );
+        si.update_state().unwrap();
+        std::thread::sleep(Duration::from_millis(20)); // v=1 now expired
+        let si2 = Arc::clone(&si);
+        let failing = std::thread::spawn(move || si2.update_state());
+        std::thread::sleep(Duration::from_millis(15)); // let the update start
+        let snap = si.update_state().unwrap();
+        assert!(
+            failing.join().unwrap().is_err(),
+            "the in-flight update itself must surface its failure"
+        );
+        assert_eq!(
+            snap.attributes.first().map(|(_, v)| v.as_str()),
+            Some("3"),
+            "waiter must not be served the expired v=1"
+        );
+        assert!(!snap.from_cache, "the waiter re-executed the provider");
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn waiter_after_failed_refresh_still_coalesces_on_valid_cache() {
+        // Same shape, but the old value is still within its TTL when the
+        // in-flight update fails: the waiter may reuse it.
+        let clock = SystemClock::shared();
+        let (calls, provider) = scripted_provider(vec![Ok(1), Err(())], 40);
+        let si = SystemInformation::new(
+            provider,
+            clock,
+            Duration::from_secs(60),
+            DegradationFn::default(),
+        );
+        si.update_state().unwrap();
+        let si2 = Arc::clone(&si);
+        let failing = std::thread::spawn(move || si2.update_state());
+        std::thread::sleep(Duration::from_millis(15));
+        let snap = si.update_state().unwrap();
+        assert!(failing.join().unwrap().is_err());
+        assert!(snap.from_cache, "valid old value serves the waiter");
+        assert_eq!(snap.attributes.first().map(|(_, v)| v.as_str()), Some("1"));
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "waiter did not re-execute");
+    }
+
+    #[test]
+    fn snapshots_share_the_cached_attribute_list() {
+        let (_c, _calls, si) = entry_with_ttl(1000);
+        let a = si.update_state().unwrap();
+        let b = si.query_state().unwrap();
+        let c = si.last_state().unwrap();
+        assert!(
+            Arc::ptr_eq(&a.attributes, &b.attributes),
+            "hits must alias the produced list, not deep-copy it"
+        );
+        assert!(Arc::ptr_eq(&b.attributes, &c.attributes));
+        let d = b.clone();
+        assert!(Arc::ptr_eq(&b.attributes, &d.attributes));
     }
 
     #[test]

@@ -14,7 +14,8 @@ use infogram_host::commands::CommandRegistry;
 use infogram_proto::record::InfoRecord;
 use infogram_rsl::{InfoSelector, ResponseMode};
 use infogram_sim::clock::SharedClock;
-use infogram_sim::metrics::MetricSet;
+use infogram_sim::metrics::{Counter, Gauge, Histogram, MetricSet};
+use infogram_sim::par;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -58,12 +59,74 @@ pub struct QueryOptions {
     pub performance: bool,
 }
 
+/// Interned per-keyword telemetry handles, resolved once at
+/// [`InformationService::register`] time so the per-query fetch path
+/// performs zero `format!` calls and zero registry-map lookups.
+#[derive(Debug, Clone)]
+pub struct KeywordMetrics {
+    /// `info.hits.<kw>` — queries served from the cache.
+    pub hits: Arc<Counter>,
+    /// `info.misses.<kw>` — queries that executed the provider.
+    pub misses: Arc<Counter>,
+    /// `info.stale.<kw>` — cached answers served past their TTL.
+    pub stale: Arc<Counter>,
+    /// `info.validity_ms.<kw>` — remaining TTL after the last refresh.
+    pub validity_ms: Arc<Gauge>,
+}
+
+impl KeywordMetrics {
+    fn intern(metrics: &MetricSet, keyword: &str) -> Self {
+        KeywordMetrics {
+            hits: metrics.counter(&format!("info.hits.{keyword}")),
+            misses: metrics.counter(&format!("info.misses.{keyword}")),
+            stale: metrics.counter(&format!("info.stale.{keyword}")),
+            validity_ms: metrics.gauge(&format!("info.validity_ms.{keyword}")),
+        }
+    }
+}
+
+/// Interned service-wide instrument handles (one set per service).
+#[derive(Debug)]
+struct ServiceMetrics {
+    queries: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    refreshes: Arc<Counter>,
+    quality_refreshes: Arc<Counter>,
+    refresh_latency: Arc<Histogram>,
+}
+
+impl ServiceMetrics {
+    fn intern(metrics: &MetricSet) -> Self {
+        ServiceMetrics {
+            queries: metrics.counter("info.queries"),
+            cache_hits: metrics.counter("info.cache_hits"),
+            refreshes: metrics.counter("info.refreshes"),
+            quality_refreshes: metrics.counter("info.quality_refreshes"),
+            refresh_latency: metrics.histogram("info.refresh"),
+        }
+    }
+}
+
+/// One registered keyword: the entry plus its interned telemetry.
+#[derive(Clone)]
+struct Registered {
+    si: Arc<SystemInformation>,
+    km: KeywordMetrics,
+}
+
+/// The keyword registry, arc-swapped copy-on-write: readers clone the
+/// `Arc` under a briefly-held read lock and then walk the map with no
+/// lock at all, so concurrent fan-out workers never contend on lookups.
+/// Registration (rare) clones the map and swaps the `Arc`.
+type Registry = Arc<BTreeMap<String, Registered>>;
+
 /// The information service of one host.
 pub struct InformationService {
     hostname: String,
     clock: SharedClock,
-    entries: RwLock<BTreeMap<String, Arc<SystemInformation>>>,
+    entries: RwLock<Registry>,
     metrics: MetricSet,
+    svc_metrics: ServiceMetrics,
 }
 
 impl std::fmt::Debug for InformationService {
@@ -78,11 +141,13 @@ impl std::fmt::Debug for InformationService {
 impl InformationService {
     /// An empty service for a host.
     pub fn new(hostname: &str, clock: SharedClock, metrics: MetricSet) -> Arc<Self> {
+        let svc_metrics = ServiceMetrics::intern(&metrics);
         Arc::new(InformationService {
             hostname: hostname.to_string(),
             clock,
-            entries: RwLock::new(BTreeMap::new()),
+            entries: RwLock::new(Arc::new(BTreeMap::new())),
             metrics,
+            svc_metrics,
         })
     }
 
@@ -116,12 +181,18 @@ impl InformationService {
 
     /// Register a keyword entry (replacing any same-keyword entry). The
     /// entry is wired into this service's telemetry, so its monitor and
-    /// delay gate contribute to `info.coalesced` / `info.throttled`.
+    /// delay gate contribute to `info.coalesced` / `info.throttled`, and
+    /// its per-keyword counters (`info.hits.<kw>`, `info.misses.<kw>`,
+    /// `info.stale.<kw>`, `info.validity_ms.<kw>`) are interned now so
+    /// no query ever formats a metric name.
     pub fn register(&self, si: Arc<SystemInformation>) {
         si.set_telemetry(self.metrics.clone());
-        self.entries
-            .write()
-            .insert(si.keyword().to_ascii_lowercase(), si);
+        let km = KeywordMetrics::intern(&self.metrics, si.keyword());
+        let key = si.keyword().to_ascii_lowercase();
+        let mut entries = self.entries.write();
+        let mut next = BTreeMap::clone(&entries);
+        next.insert(key, Registered { si, km });
+        *entries = Arc::new(next);
     }
 
     /// Register the built-in `Metrics:` keyword over the given telemetry
@@ -155,81 +226,138 @@ impl InformationService {
         &self.metrics
     }
 
+    /// A consistent point-in-time view of the registry: one `Arc` clone
+    /// under a briefly-held read lock, then lock-free map walks.
+    fn registry(&self) -> Registry {
+        Arc::clone(&self.entries.read())
+    }
+
     /// Configured keywords, in canonical case, sorted.
     pub fn keywords(&self) -> Vec<String> {
-        self.entries
-            .read()
+        self.registry()
             .values()
-            .map(|si| si.keyword().to_string())
+            .map(|r| r.si.keyword().to_string())
             .collect()
     }
 
     /// Look up a keyword case-insensitively.
     pub fn lookup(&self, keyword: &str) -> Option<Arc<SystemInformation>> {
-        self.entries
-            .read()
+        self.registry()
             .get(&keyword.to_ascii_lowercase())
-            .cloned()
+            .map(|r| Arc::clone(&r.si))
+    }
+
+    /// The interned telemetry handles for a keyword, if registered —
+    /// exposed so tests can assert the hot path shares these exact
+    /// instruments rather than re-resolving names per query.
+    pub fn keyword_metrics(&self, keyword: &str) -> Option<KeywordMetrics> {
+        self.registry()
+            .get(&keyword.to_ascii_lowercase())
+            .map(|r| r.km.clone())
     }
 
     /// All entries (for schema reflection and aggregation).
     pub fn entries(&self) -> Vec<Arc<SystemInformation>> {
-        self.entries.read().values().cloned().collect()
+        self.registry()
+            .values()
+            .map(|r| Arc::clone(&r.si))
+            .collect()
     }
 
-    /// Fetch one keyword's snapshot under a response mode and quality
-    /// threshold.
-    fn fetch(
-        &self,
-        si: &SystemInformation,
-        opts: &QueryOptions,
-    ) -> Result<Snapshot, QueryError> {
-        self.metrics.counter("info.queries").incr();
-        // §6.6 quality tag: "If the degradation function of any of its
-        // returned attributes is below that threshold, this attribute is
-        // regenerated by the associated command."
-        let quality_forces_refresh = match (opts.quality_threshold, opts.mode) {
+    /// Would fetching this entry under these options plausibly execute
+    /// its provider (and therefore block)? Used purely as a scheduling
+    /// hint by [`InformationService::answer`]: entries that can be served
+    /// from cache are answered inline, the rest are fanned out in
+    /// parallel. A stale hint is harmless — [`InformationService::fetch`]
+    /// handles either outcome.
+    fn may_block(reg: &Registered, opts: &QueryOptions) -> bool {
+        match opts.mode {
+            ResponseMode::Immediate => true,
+            ResponseMode::Last => false,
+            ResponseMode::Cached => {
+                Self::quality_forces_refresh(&reg.si, opts)
+                    || reg.si.validity().is_zero()
+            }
+        }
+    }
+
+    /// §6.6 quality tag: "If the degradation function of any of its
+    /// returned attributes is below that threshold, this attribute is
+    /// regenerated by the associated command."
+    fn quality_forces_refresh(si: &SystemInformation, opts: &QueryOptions) -> bool {
+        match (opts.quality_threshold, opts.mode) {
             (Some(threshold), ResponseMode::Cached) => match si.current_quality() {
                 Some(q) => q * 100.0 < threshold,
                 None => false, // nothing cached yet; normal path handles it
             },
             _ => false,
-        };
-        let before = self.clock.now();
-        let snap = if quality_forces_refresh {
-            self.metrics.counter("info.quality_refreshes").incr();
-            si.update_state()?
-        } else {
-            match opts.mode {
-                ResponseMode::Immediate => si.update_state()?,
-                ResponseMode::Cached => si.cached_state()?,
-                ResponseMode::Last => si.last_state()?,
+        }
+    }
+
+    /// Fetch one keyword's snapshot under a response mode and quality
+    /// threshold.
+    ///
+    /// The cache-hit path is allocation-free and lock-light: one interned
+    /// counter increment per service-level and per-keyword metric, no
+    /// `format!`, and no refresh-latency clock reads — that bookkeeping
+    /// only runs when the provider actually executes.
+    fn fetch(&self, reg: &Registered, opts: &QueryOptions) -> Result<Snapshot, QueryError> {
+        let si = &reg.si;
+        self.svc_metrics.queries.incr();
+        let quality_forces_refresh = Self::quality_forces_refresh(si, opts);
+        match opts.mode {
+            // Pure cache hit: no refresh bookkeeping at all.
+            ResponseMode::Cached if !quality_forces_refresh => {
+                if let Ok(snap) = si.query_state() {
+                    self.svc_metrics.cache_hits.incr();
+                    reg.km.hits.incr();
+                    // A valid cached-mode hit is by definition within its
+                    // TTL, so no staleness check is needed either.
+                    return Ok(snap);
+                }
             }
-        };
-        let kw = si.keyword();
+            ResponseMode::Last => {
+                let snap = si.last_state()?;
+                self.svc_metrics.cache_hits.incr();
+                reg.km.hits.incr();
+                // Only `(response=last)` and the delay throttle can serve
+                // a value older than its TTL.
+                let age = self.clock.now().since(snap.produced_at);
+                if !si.ttl().is_zero() && age >= si.ttl() {
+                    reg.km.stale.incr();
+                }
+                return Ok(snap);
+            }
+            _ => {}
+        }
+        // Refresh path: `(response=immediate)`, a quality-forced refresh,
+        // or a cached-mode miss (expired / never produced / TTL 0).
+        if quality_forces_refresh {
+            self.svc_metrics.quality_refreshes.incr();
+        }
+        let before = self.clock.now();
+        let snap = si.update_state()?;
         if snap.from_cache {
-            self.metrics.counter("info.cache_hits").incr();
-            self.metrics.counter(&format!("info.hits.{kw}")).incr();
-            // A cached answer older than the TTL (only `(response=last)`
-            // or the delay throttle can produce one) is served stale.
+            // The monitor coalesced us onto another caller's refresh, or
+            // the delay throttle served the previous value.
+            self.svc_metrics.cache_hits.incr();
+            reg.km.hits.incr();
             let age = self.clock.now().since(snap.produced_at);
             if !si.ttl().is_zero() && age >= si.ttl() {
-                self.metrics.counter(&format!("info.stale.{kw}")).incr();
+                reg.km.stale.incr();
             }
         } else {
-            self.metrics.counter("info.refreshes").incr();
-            self.metrics.counter(&format!("info.misses.{kw}")).incr();
+            self.svc_metrics.refreshes.incr();
+            reg.km.misses.incr();
             // Refresh latency on the service clock (simulated command
             // costs advance it; free commands record zero).
-            self.metrics
-                .histogram("info.refresh")
+            self.svc_metrics
+                .refresh_latency
                 .record(self.clock.now().since(before));
+            // Remaining validity of what is now cached — the TTL-expiry
+            // countdown a monitoring client watches.
+            reg.km.validity_ms.set(si.validity().as_millis() as f64);
         }
-        // Remaining validity of what is now cached — the TTL-expiry
-        // countdown a monitoring client watches.
-        self.metrics
-            .gauge(&format!("info.validity_ms.{kw}"))
-            .set(si.validity().as_millis() as f64);
         Ok(snap)
     }
 
@@ -243,7 +371,7 @@ impl InformationService {
         let mut rec = InfoRecord::new(si.keyword(), &self.hostname);
         let age = self.clock.now().since(snap.produced_at);
         let quality = si.degradation().quality(age);
-        for (name, value) in &snap.attributes {
+        for (name, value) in snap.attributes.iter() {
             let attr = rec.push(name, value);
             attr.quality = Some(quality);
             attr.age_secs = Some(age.as_secs_f64());
@@ -262,30 +390,77 @@ impl InformationService {
 
     /// Answer a selector list. Unknown keywords fail the whole query with
     /// [`InfoServiceError::UnknownKeyword`]; provider failures fail it
-    /// with the underlying error.
+    /// with the error of the earliest failing selector position.
+    ///
+    /// Scatter-gather: the selector list is first resolved against one
+    /// consistent registry snapshot (so unknown keywords fail before any
+    /// provider runs), then every fetch expected to execute a provider is
+    /// fanned out across the scoped thread pool while cache hits are
+    /// answered inline. Records are gathered back in selector order, so
+    /// the reply is indistinguishable from the sequential walk — N slow
+    /// keywords cost ~1 provider execution of wall time instead of ~N.
     pub fn answer(
         &self,
         selectors: &[InfoSelector],
         opts: &QueryOptions,
     ) -> Result<Vec<InfoRecord>, InfoServiceError> {
-        let mut records = Vec::new();
+        enum Item<'a> {
+            Schema,
+            Fetch(&'a Registered),
+        }
+        let registry = self.registry();
+        let mut items: Vec<Item<'_>> = Vec::new();
         for sel in selectors {
             match sel {
-                InfoSelector::Schema => {
+                InfoSelector::Schema => items.push(Item::Schema),
+                InfoSelector::All => {
+                    items.extend(registry.values().map(Item::Fetch));
+                }
+                InfoSelector::Keyword(k) => items.push(Item::Fetch(
+                    registry
+                        .get(&k.to_ascii_lowercase())
+                        .ok_or_else(|| InfoServiceError::UnknownKeyword(k.clone()))?,
+                )),
+            }
+        }
+        // Scatter: serve whatever cannot block inline; fan the rest out.
+        let mut slots: Vec<Option<Result<Snapshot, QueryError>>> =
+            items.iter().map(|_| None).collect();
+        let mut slow: Vec<(usize, &Registered)> = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            if let Item::Fetch(reg) = item {
+                if Self::may_block(reg, opts) {
+                    slow.push((i, reg));
+                } else {
+                    slots[i] = Some(self.fetch(reg, opts));
+                }
+            }
+        }
+        match slow.len() {
+            0 => {}
+            1 => {
+                let (i, reg) = slow[0];
+                slots[i] = Some(self.fetch(reg, opts));
+            }
+            _ => {
+                for (slot, (i, _)) in par::fan_out(&slow, |_, (_, reg)| self.fetch(reg, opts))
+                    .into_iter()
+                    .zip(&slow)
+                {
+                    slots[*i] = Some(slot);
+                }
+            }
+        }
+        // Gather in selector order; the first error (by position) wins.
+        let mut records = Vec::with_capacity(items.len());
+        for (item, slot) in items.iter().zip(slots) {
+            match item {
+                Item::Schema => {
                     records.extend(Schema::of(self).to_records(&self.hostname));
                 }
-                InfoSelector::All => {
-                    for si in self.entries() {
-                        let snap = self.fetch(&si, opts)?;
-                        records.push(self.to_record(&si, &snap, opts));
-                    }
-                }
-                InfoSelector::Keyword(k) => {
-                    let si = self
-                        .lookup(k)
-                        .ok_or_else(|| InfoServiceError::UnknownKeyword(k.clone()))?;
-                    let snap = self.fetch(&si, opts)?;
-                    records.push(self.to_record(&si, &snap, opts));
+                Item::Fetch(reg) => {
+                    let snap = slot.expect("every fetch item was filled")?;
+                    records.push(self.to_record(&reg.si, &snap, opts));
                 }
             }
         }
@@ -545,6 +720,93 @@ mod tests {
             recs[0].attributes[0].quality,
             Some(0.0),
             "binary degradation flips at the 1000ms lifetime"
+        );
+    }
+
+    #[test]
+    fn hot_path_uses_interned_keyword_handles() {
+        let (_c, _r, svc) = table1_service();
+        let opts = QueryOptions::default();
+        svc.answer(&kw("Memory"), &opts).unwrap(); // miss: creates nothing new either
+        let km = svc.keyword_metrics("Memory").unwrap();
+        // The handles cached at register() time are the very instruments
+        // the telemetry set resolves by name.
+        assert!(Arc::ptr_eq(&km.hits, &svc.metrics().counter("info.hits.Memory")));
+        assert!(Arc::ptr_eq(&km.misses, &svc.metrics().counter("info.misses.Memory")));
+        assert!(Arc::ptr_eq(&km.stale, &svc.metrics().counter("info.stale.Memory")));
+        assert!(Arc::ptr_eq(
+            &km.validity_ms,
+            &svc.metrics().gauge("info.validity_ms.Memory")
+        ));
+        // Cache hits go through those handles without creating (or even
+        // naming) any instrument: the counter set stays fixed while the
+        // interned handle observes every hit.
+        let names_before = svc.metrics().counters_snapshot().len();
+        let hits_before = km.hits.get();
+        for _ in 0..100 {
+            svc.answer(&kw("Memory"), &opts).unwrap();
+        }
+        assert_eq!(km.hits.get(), hits_before + 100);
+        assert_eq!(
+            svc.metrics().counters_snapshot().len(),
+            names_before,
+            "hit path must not mint new metric names"
+        );
+    }
+
+    #[test]
+    fn answer_fans_out_but_keeps_selector_order() {
+        // Five TTL-0 keywords: (info=all) refreshes every one, through
+        // the fan-out pool, and the reply must still be in registry
+        // order with one record per keyword.
+        let clock = ManualClock::new();
+        let svc = InformationService::new("h", clock.clone(), MetricSet::new());
+        for name in ["E", "A", "C", "B", "D"] {
+            let n = name.to_string();
+            svc.register(SystemInformation::new(
+                Box::new(crate::provider::FnProvider::new(name, move || {
+                    Ok(vec![("v".to_string(), n.clone())])
+                })),
+                clock.clone(),
+                Duration::ZERO,
+                crate::quality::DegradationFn::default(),
+            ));
+        }
+        let recs = svc
+            .answer(&[InfoSelector::All], &QueryOptions::default())
+            .unwrap();
+        let order: Vec<&str> = recs.iter().map(|r| r.keyword.as_str()).collect();
+        assert_eq!(order, vec!["A", "B", "C", "D", "E"]);
+        // Concatenated selectors keep request order, not registry order.
+        let recs = svc
+            .answer(
+                &[
+                    InfoSelector::Keyword("D".into()),
+                    InfoSelector::Keyword("A".into()),
+                    InfoSelector::Keyword("C".into()),
+                ],
+                &QueryOptions::default(),
+            )
+            .unwrap();
+        let order: Vec<&str> = recs.iter().map(|r| r.keyword.as_str()).collect();
+        assert_eq!(order, vec!["D", "A", "C"]);
+    }
+
+    #[test]
+    fn unknown_keyword_fails_before_any_provider_runs() {
+        let (_c, _r, svc) = table1_service();
+        let res = svc.answer(
+            &[
+                InfoSelector::Keyword("memory".into()),
+                InfoSelector::Keyword("Bogus".into()),
+            ],
+            &QueryOptions::default(),
+        );
+        assert!(matches!(res, Err(InfoServiceError::UnknownKeyword(_))));
+        assert_eq!(
+            svc.lookup("Memory").unwrap().execution_count(),
+            0,
+            "selector resolution rejects the query before fetching"
         );
     }
 

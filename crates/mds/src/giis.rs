@@ -117,15 +117,27 @@ impl Giis {
     fn refresh_expired(&self) {
         let now = self.clock.now();
         let mut members = self.members.lock();
-        for member in members.iter_mut() {
-            let stale = match member.fetched_at {
+        // Scatter: snapshot every stale member concurrently — one slow
+        // member (or a deep child GIIS) no longer serializes the whole
+        // pull round. The members lock is held throughout, so concurrent
+        // searches cannot double-pull; child sources lock only their own
+        // state.
+        let stale: Vec<(usize, AggregateSource)> = members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| match m.fetched_at {
                 None => true,
                 Some(t) => now.since(t) >= self.cache_ttl,
-            };
-            if !stale {
-                continue;
-            }
-            let entries = member.source.snapshot();
+            })
+            .map(|(i, m)| (i, m.source.clone()))
+            .collect();
+        if stale.is_empty() {
+            return;
+        }
+        let snapshots = infogram_sim::par::fan_out(&stale, |_, (_, src)| src.snapshot());
+        // Gather: apply tree mutations sequentially, in member order.
+        for ((idx, _), entries) in stale.iter().zip(snapshots) {
+            let member = &mut members[*idx];
             for dn in member.contributed.drain(..) {
                 self.tree.remove(&dn);
             }

@@ -16,6 +16,14 @@ use std::sync::Arc;
 /// connection loop, the information cache, and the job engine. Looking up
 /// a name that does not exist creates the instrument, so instrumentation
 /// points never need registration boilerplate.
+///
+/// Instruments are *interned*: every lookup of the same name returns a
+/// clone of the same `Arc`, so hot paths should resolve their handles
+/// once (at registration/construction time) and then increment through
+/// the cached `Arc` — a lock-free atomic op with no name formatting, no
+/// map lookup, and no allocation per event. The info service's
+/// per-keyword counters and the dispatcher's per-kind histograms both
+/// work this way.
 #[derive(Debug, Default, Clone)]
 pub struct Telemetry {
     inner: Arc<TelemetryInner>,
@@ -205,6 +213,26 @@ mod tests {
         t.counter("jobs").add(4);
         assert_eq!(t.counter_value("jobs"), 5);
         assert_eq!(t.counter_value("never"), 0);
+    }
+
+    #[test]
+    fn handles_are_interned() {
+        // Repeated lookups return the same Arc, so a handle cached at
+        // registration time stays wired to the instrument every later
+        // lookup (and snapshot) observes.
+        let t = Telemetry::new();
+        let c1 = t.counter("info.hits.Memory");
+        let c2 = t.counter("info.hits.Memory");
+        assert!(Arc::ptr_eq(&c1, &c2));
+        let g1 = t.gauge("g");
+        assert!(Arc::ptr_eq(&g1, &t.gauge("g")));
+        let h1 = t.histogram("h");
+        assert!(Arc::ptr_eq(&h1, &t.histogram("h")));
+        let r1 = t.recorder("r");
+        assert!(Arc::ptr_eq(&r1, &t.recorder("r")));
+        // Increments through the cached handle are visible by name.
+        c1.incr();
+        assert_eq!(t.counter_value("info.hits.Memory"), 1);
     }
 
     #[test]

@@ -22,14 +22,19 @@
 //!   harness.
 //! * [`workload`] — open- and closed-loop arrival processes for the
 //!   client populations driving the experiments.
+//! * [`par`] — the scoped, order-preserving scatter-gather fan-out used
+//!   by `(info=all)` answering, aggregate member queries, and GIIS
+//!   member pulls.
 
 pub mod clock;
 pub mod metrics;
 pub mod net;
+pub mod par;
 pub mod rng;
 pub mod workload;
 
 pub use clock::{Clock, ManualClock, SharedClock, SimTime, SystemClock};
+pub use par::{fan_out, fan_out_bounded};
 pub use infogram_obs::stats;
 pub use rng::SplitMix64;
 pub use stats::{Summary, Welford};

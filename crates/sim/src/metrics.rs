@@ -6,4 +6,4 @@
 //! `infogram-obs` directly and use [`infogram_obs::Telemetry`], of which
 //! [`MetricSet`] is an alias.
 
-pub use infogram_obs::{Counter, MetricSet, Recorder};
+pub use infogram_obs::{Counter, Gauge, Histogram, MetricSet, Recorder};

@@ -1,0 +1,164 @@
+//! Scoped scatter-gather fan-out.
+//!
+//! The InfoGram hot paths — `(info=all)` over many keywords, aggregate
+//! queries over many member services, GIIS pulls over many member GRISes
+//! — are embarrassingly parallel: each unit of work is independent, the
+//! unit count is known up front, and the caller needs every result (in
+//! order) before it can reply. [`fan_out`] covers exactly that shape and
+//! nothing more:
+//!
+//! * **scoped** — workers borrow the caller's stack (`std::thread::scope`),
+//!   so tasks can capture `&self`, slices, and other non-`'static` data
+//!   without `Arc` plumbing;
+//! * **work-stealing-free** — workers claim indices from a single shared
+//!   atomic cursor. There are no per-worker deques to steal from, no
+//!   channels, and no queue allocation: the only coordination is one
+//!   `fetch_add` per task;
+//! * **order-preserving** — results land in pre-allocated slots indexed by
+//!   input position, so the gather side reads them back in input order;
+//! * **clock-agnostic** — the pool never touches a clock. Tasks that sleep
+//!   on a [`crate::SystemClock`] overlap their waits; tasks that advance a
+//!   [`crate::ManualClock`] (the deterministic experiments) accumulate the
+//!   same total virtual cost as a sequential loop, so simulated timings
+//!   stay reproducible.
+//!
+//! Degenerate inputs (zero or one item, or a parallelism bound of one)
+//! run inline on the calling thread with no spawns at all, which keeps
+//! single-keyword queries and cache-hit storms free of thread overhead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Default cap on worker threads per fan-out (including the caller).
+///
+/// Fan-out exists to overlap *waiting* (slow providers, member pulls), not
+/// to saturate cores, so the cap is deliberately independent of
+/// `available_parallelism` — on a single-core host, eight threads sleeping
+/// 30 ms each still finish in ~30 ms.
+pub const DEFAULT_FAN_OUT: usize = 8;
+
+/// Run `f` over every item, possibly in parallel, returning results in
+/// input order. Uses the [`DEFAULT_FAN_OUT`] parallelism bound.
+///
+/// `f` receives `(index, &item)`. See [`fan_out_bounded`].
+pub fn fan_out<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    fan_out_bounded(items, DEFAULT_FAN_OUT, f)
+}
+
+/// Run `f` over every item with at most `max_threads` threads (the caller
+/// counts as one), returning results in input order.
+///
+/// Panics in a worker propagate to the caller once all workers have been
+/// joined (the scope re-raises the first panic).
+pub fn fan_out_bounded<T, R, F>(items: &[T], max_threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 || max_threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let slots: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    let run = |_worker: usize| {
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let r = f(i, &items[i]);
+            // Each index is claimed exactly once, so the slot is empty.
+            let _ = slots[i].set(r);
+        }
+    };
+    let helpers = max_threads.min(n) - 1;
+    std::thread::scope(|scope| {
+        for w in 0..helpers {
+            let run = &run;
+            scope.spawn(move || run(w + 1));
+        }
+        run(0);
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every index was claimed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = fan_out(&items, |i, x| {
+            assert_eq!(i as u64, *x);
+            x * 2
+        });
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_run_inline() {
+        let none: Vec<u32> = vec![];
+        assert!(fan_out(&none, |_, x| *x).is_empty());
+        let caller = std::thread::current().id();
+        let tids = fan_out(&[1u32], |_, _| std::thread::current().id());
+        assert_eq!(tids, vec![caller], "single item must not spawn");
+    }
+
+    #[test]
+    fn bound_of_one_is_sequential() {
+        let caller = std::thread::current().id();
+        let tids = fan_out_bounded(&[1, 2, 3], 1, |_, _| std::thread::current().id());
+        assert!(tids.iter().all(|t| *t == caller));
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counters: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        fan_out(&(0..64usize).collect::<Vec<_>>(), |_, i| {
+            counters[*i].fetch_add(1, Ordering::SeqCst)
+        });
+        for c in &counters {
+            assert_eq!(c.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn sleeps_overlap() {
+        // 8 × 30 ms of blocking work should take ~30 ms, not ~240 ms.
+        let items = [30u64; 8];
+        let start = Instant::now();
+        fan_out(&items, |_, ms| std::thread::sleep(Duration::from_millis(*ms)));
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "fan-out did not overlap sleeps: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn errors_surface_per_slot() {
+        let results = fan_out(&[1u32, 2, 3, 4], |_, x| {
+            if x % 2 == 0 {
+                Err(format!("even {x}"))
+            } else {
+                Ok(*x)
+            }
+        });
+        assert_eq!(results[0], Ok(1));
+        assert_eq!(results[1], Err("even 2".to_string()));
+        assert_eq!(results[3], Err("even 4".to_string()));
+    }
+}

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Smoke-run the scatter-gather benchmark (E16) and gate on its pass flag.
+#
+# Runs `e16_parallel_fanout` in quick mode (3 rounds per K, 20k hit-path
+# queries — a few seconds total) and writes the machine-readable result
+# to BENCH_parallel_fanout.json at the repo root. The bench asserts its
+# own acceptance criterion — `(info=all)` over 4 slow keywords within
+# 1.5x of one provider's cost — and exits non-zero if the fan-out pool
+# ever regresses to sequential behaviour, so this doubles as a CI gate.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_parallel_fanout.json}"
+
+# `cargo bench` runs the binary from the package directory, so anchor
+# the output path at the repo root regardless.
+echo "==> e16_parallel_fanout (quick) -> $OUT"
+E16_QUICK=1 E16_JSON="$(pwd)/$OUT" cargo bench -q -p infogram-bench \
+    --bench e16_parallel_fanout
+
+grep -q '"pass": true' "$OUT" || {
+    echo "bench smoke FAILED: $OUT does not report pass=true" >&2
+    exit 1
+}
+echo "==> bench smoke ok ($OUT)"

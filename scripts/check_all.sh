@@ -1,0 +1,22 @@
+#!/bin/sh
+# The full local gate, in dependency order:
+#
+#   1. scripts/check_docs.sh — rustdoc + clippy, warnings as errors
+#   2. cargo test --workspace — every unit, doc, and integration test
+#   3. scripts/bench_smoke.sh — quick E16 run gating on the fan-out
+#      acceptance criterion (writes BENCH_parallel_fanout.json)
+#
+# Works fully offline; expect a few minutes on a cold target dir.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+sh scripts/check_docs.sh
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+sh scripts/bench_smoke.sh
+
+echo "==> all gates green"

@@ -60,6 +60,7 @@ pub use infogram_gsi as gsi;
 pub use infogram_host as host;
 pub use infogram_info as info;
 pub use infogram_mds as mds;
+pub use infogram_obs as obs;
 pub use infogram_proto as proto;
 pub use infogram_rsl as rsl;
 pub use infogram_sim as sim;
