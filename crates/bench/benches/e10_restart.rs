@@ -124,7 +124,10 @@ fn main() {
     );
 
     println!("\n-- §6.1 automatic job restart on failure --");
-    let rows: Vec<Vec<String>> = [0u32, 1, 3, 5].iter().map(|&r| auto_restart_row(r)).collect();
+    let rows: Vec<Vec<String>> = [0u32, 1, 3, 5]
+        .iter()
+        .map(|&r| auto_restart_row(r))
+        .collect();
     table(&["retry-budget", "restarts", "final-state", "exit"], &rows);
     println!(
         "\nreading: recovery is O(in-flight jobs) and every unfinished submission\n\

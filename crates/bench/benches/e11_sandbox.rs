@@ -31,7 +31,10 @@ fn main() {
 
     println!("\n-- enforcement matrix (restrictive policy) --");
     let programs: [(&str, &str); 6] = [
-        ("well-behaved", "read /data/input.dat; compute 5; write /tmp/out x; print ok"),
+        (
+            "well-behaved",
+            "read /data/input.dat; compute 5; write /tmp/out x; print ok",
+        ),
         ("fs-read-escape", "read /etc/grid-security/hostcert.pem"),
         ("fs-write-escape", "write /etc/passwd pwned"),
         ("net-exfiltration", "net evil.example.org:31337"),
@@ -47,8 +50,18 @@ fn main() {
         let inp = run_jarlet(&jarlet, &Policy::restrictive(), ExecMode::InProcess, &h);
         rows.push(vec![
             name.to_string(),
-            if iso.violations.is_empty() { "allowed" } else { "BLOCKED" }.to_string(),
-            if inp.violations.is_empty() { "allowed" } else { "BLOCKED" }.to_string(),
+            if iso.violations.is_empty() {
+                "allowed"
+            } else {
+                "BLOCKED"
+            }
+            .to_string(),
+            if inp.violations.is_empty() {
+                "allowed"
+            } else {
+                "BLOCKED"
+            }
+            .to_string(),
             if iso.host_contaminated { "yes" } else { "no" }.to_string(),
             if inp.host_contaminated { "yes" } else { "no" }.to_string(),
         ]);

@@ -69,8 +69,7 @@ fn render_cost() {
             for _ in 0..REPS {
                 bytes = render::render(&records, fmt).len();
             }
-            let per_record =
-                t0.elapsed().as_secs_f64() / (REPS * n_records.max(1)) as f64;
+            let per_record = t0.elapsed().as_secs_f64() / (REPS * n_records.max(1)) as f64;
             rows.push(vec![
                 n_records.to_string(),
                 fmt.to_string(),

@@ -85,7 +85,12 @@ fn authorization_matrix() {
         )],
     );
 
-    let alice_cred = ca.issue(&alice, &mut rng, SimTime::ZERO, Duration::from_secs(365 * 86_400));
+    let alice_cred = ca.issue(
+        &alice,
+        &mut rng,
+        SimTime::ZERO,
+        Duration::from_secs(365 * 86_400),
+    );
     let mallory_cred = ca.issue(
         &Dn::user("Grid", "ANL", "Mallory"),
         &mut rng,

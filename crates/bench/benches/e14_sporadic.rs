@@ -5,6 +5,9 @@
 //! grid becomes useful: time-to-up, time-to-first-job, and the makespan
 //! of a scan→acquire→analyze pipeline, as the node count grows.
 
+// Bench/example/test harness: panic-on-failure is the error policy here.
+#![allow(clippy::unwrap_used)]
+
 use infogram::core::mds_bridge;
 use infogram::mds::filter::Filter;
 use infogram::mds::giis::Giis;
@@ -52,11 +55,20 @@ fn run(nodes: usize) -> Vec<String> {
     // ---- pipeline ----
     target.host.fs.write("/data/specimen.dat", "fov");
     for (stage, prog) in [
-        ("scan", "read /data/specimen.dat; compute 20; write /tmp/points p; print ok"),
-        ("acquire", "read /data/specimen.dat; compute 30; write /tmp/patterns d; print ok"),
+        (
+            "scan",
+            "read /data/specimen.dat; compute 20; write /tmp/points p; print ok",
+        ),
+        (
+            "acquire",
+            "read /data/specimen.dat; compute 30; write /tmp/patterns d; print ok",
+        ),
         ("analyze", "compute 40; write /tmp/result r; print ok"),
     ] {
-        target.host.fs.write(&format!("/home/gregor/{stage}.jar"), prog);
+        target
+            .host
+            .fs
+            .write(&format!("/home/gregor/{stage}.jar"), prog);
     }
     let mut client = target.connect_client();
     let t1 = Instant::now();
@@ -100,7 +112,13 @@ fn main() {
     );
     let rows: Vec<Vec<String>> = [2usize, 4, 8, 16].iter().map(|&n| run(n)).collect();
     table(
-        &["nodes", "bring-up", "time-to-first-job", "pipeline-makespan", "teardown"],
+        &[
+            "nodes",
+            "bring-up",
+            "time-to-first-job",
+            "pipeline-makespan",
+            "teardown",
+        ],
         &rows,
     );
     println!(

@@ -35,8 +35,7 @@ const PROVIDER_MS: u64 = 25;
 /// every `(info=all)` re-executes all of them).
 fn slow_service(k: usize) -> Arc<InformationService> {
     let clock = SystemClock::shared();
-    let service =
-        InformationService::new("e16.grid", clock.clone(), MetricSet::new());
+    let service = InformationService::new("e16.grid", clock.clone(), MetricSet::new());
     for i in 0..k {
         service.register(SystemInformation::new(
             Box::new(FnProvider::new(&format!("Slow{i:02}"), move || {
@@ -163,5 +162,8 @@ fn main() {
         std::fs::write(&path, json).expect("write E16_JSON");
         println!("wrote {path}");
     }
-    assert!(pass, "fan-out acceptance failed: K=4 {k4_ratio:.2}x, K=8 {k8_ratio:.2}x");
+    assert!(
+        pass,
+        "fan-out acceptance failed: K=4 {k4_ratio:.2}x, K=8 {k8_ratio:.2}x"
+    );
 }

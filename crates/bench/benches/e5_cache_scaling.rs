@@ -10,6 +10,9 @@
 //! time makes the run exact: a query's latency is precisely the clock
 //! time its answer consumed.
 
+// Bench/example/test harness: panic-on-failure is the error policy here.
+#![allow(clippy::unwrap_used)]
+
 use infogram_bench::{banner, fmt_ratio, fmt_secs, manual_world_with_config, table};
 use infogram_info::config::ServiceConfig;
 use infogram_info::service::QueryOptions;
@@ -18,9 +21,8 @@ use infogram_sim::Clock;
 use std::time::Duration;
 
 fn run(clients: u64, ttl_ms: u64) -> (f64, f64, f64) {
-    let config =
-        ServiceConfig::parse(&format!("{ttl_ms} CPULoad /usr/local/bin/cpuload.exe\n"))
-            .expect("config");
+    let config = ServiceConfig::parse(&format!("{ttl_ms} CPULoad /usr/local/bin/cpuload.exe\n"))
+        .expect("config");
     let w = manual_world_with_config(7 + clients, &config);
     // N clients at 1 Hz each = N queries/s, evenly interleaved.
     let gap = Duration::from_nanos(1_000_000_000 / clients);

@@ -81,7 +81,14 @@ fn main() {
 
     println!("\n-- threshold sweep (linear degradation, 60 s lifetime) --");
     let mut rows = Vec::new();
-    for threshold in [None, Some(10.0), Some(25.0), Some(50.0), Some(75.0), Some(90.0)] {
+    for threshold in [
+        None,
+        Some(10.0),
+        Some(25.0),
+        Some(50.0),
+        Some(75.0),
+        Some(90.0),
+    ] {
         let out = run(
             DegradationFn::Linear {
                 lifetime: Duration::from_secs(60),
@@ -98,7 +105,12 @@ fn main() {
         ]);
     }
     table(
-        &["quality-threshold", "refreshes/120q", "mean-served-quality", "mean-|error|"],
+        &[
+            "quality-threshold",
+            "refreshes/120q",
+            "mean-served-quality",
+            "mean-|error|",
+        ],
         &rows,
     );
 
@@ -142,7 +154,12 @@ fn main() {
         ]);
     }
     table(
-        &["degradation", "refreshes/120q", "mean-served-quality", "mean-|error|"],
+        &[
+            "degradation",
+            "refreshes/120q",
+            "mean-served-quality",
+            "mean-|error|",
+        ],
         &rows,
     );
     println!(

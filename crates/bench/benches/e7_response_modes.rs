@@ -6,6 +6,9 @@
 //! positions on the latency/freshness plane: `last` is cheapest and
 //! stalest, `immediate` freshest and dearest, `cached` in between.
 
+// Bench/example/test harness: panic-on-failure is the error policy here.
+#![allow(clippy::unwrap_used)]
+
 use infogram_bench::{banner, fmt_secs, manual_world_with_config, table};
 use infogram_info::config::ServiceConfig;
 use infogram_info::service::QueryOptions;
@@ -14,8 +17,7 @@ use infogram_sim::Clock;
 use std::time::Duration;
 
 fn run(mode: ResponseMode) -> (f64, u64, f64) {
-    let config =
-        ServiceConfig::parse("1000 CPULoad /usr/local/bin/cpuload.exe\n").expect("config");
+    let config = ServiceConfig::parse("1000 CPULoad /usr/local/bin/cpuload.exe\n").expect("config");
     let w = manual_world_with_config(4242, &config);
     let sel = [InfoSelector::Keyword("CPULoad".to_string())];
     // `last` needs something cached first; prime all modes equally.
@@ -39,7 +41,11 @@ fn run(mode: ResponseMode) -> (f64, u64, f64) {
         w.clock.advance(Duration::from_millis(250));
     }
     let execs = w.info.lookup("CPULoad").unwrap().execution_count() - primed;
-    (latency_sum / queries as f64, execs, age_sum / queries as f64)
+    (
+        latency_sum / queries as f64,
+        execs,
+        age_sum / queries as f64,
+    )
 }
 
 fn main() {

@@ -7,6 +7,9 @@
 //! manager (submit: RSL parse, WAL, backend dispatch), and backend
 //! (run: the job's own execution), plus status-poll cost.
 
+// Bench/example/test harness: panic-on-failure is the error policy here.
+#![allow(clippy::unwrap_used)]
+
 use infogram::quickstart::{Sandbox, SandboxConfig};
 use infogram_bench::{banner, fmt_secs, table};
 use infogram_client::GramClient;
@@ -69,7 +72,11 @@ fn main() {
 
     let mut rows = Vec::new();
     for (tier, what, samples) in [
-        ("gatekeeper", "connect + GSI handshake + gridmap", &t_connect),
+        (
+            "gatekeeper",
+            "connect + GSI handshake + gridmap",
+            &t_connect,
+        ),
         ("job manager", "submit (parse, WAL, dispatch)", &t_submit),
         ("job manager", "status poll", &t_status),
         ("backend", "job execution (20 ms simwork)", &t_run),

@@ -58,8 +58,16 @@ fn main() {
     table(
         &["property", "Figure 2 (separate)", "Figure 4 (InfoGram)"],
         &[
-            vec!["services per resource".into(), "2 (GRAM, GRIS)".into(), "1".into()],
-            vec!["wire protocols".into(), "2 (GRAMP, LDAP)".into(), "1 (xRSL/GRAMP)".into()],
+            vec![
+                "services per resource".into(),
+                "2 (GRAM, GRIS)".into(),
+                "1".into(),
+            ],
+            vec![
+                "wire protocols".into(),
+                "2 (GRAMP, LDAP)".into(),
+                "1 (xRSL/GRAMP)".into(),
+            ],
             vec!["listening ports".into(), "2".into(), "1".into()],
             vec!["connections per client".into(), "2".into(), "1".into()],
             vec!["GSI handshakes per client".into(), "2".into(), "1".into()],

@@ -2,6 +2,10 @@
 //! xRSL extraction, record rendering, wire encoding, and certificate
 //! chain verification.
 
+// Bench/example/test harness: panic-on-failure is the error policy here.
+// (criterion_group! expands to undocumented pub fns, hence missing_docs.)
+#![allow(clippy::unwrap_used, missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use infogram_gsi::{verify_chain, CertificateAuthority, Dn};
 use infogram_proto::message::{Reply, Request};
@@ -12,8 +16,7 @@ use infogram_sim::{SimTime, SplitMix64};
 use std::hint::black_box;
 use std::time::Duration;
 
-const JOB_RSL: &str =
-    "&(executable=/bin/simwork)(arguments=100 0)(count=4)(maxtime=5)\
+const JOB_RSL: &str = "&(executable=/bin/simwork)(arguments=100 0)(count=4)(maxtime=5)\
      (environment=(HOME /home/gregor)(LANG C))(jobtype=batch)(queue=pbs)\
      (requirements=(os linux)(arch x86))";
 const INFO_RSL: &str =
@@ -65,7 +68,9 @@ fn bench_wire(c: &mut Criterion) {
         callback: true,
     };
     let encoded = req.encode();
-    c.bench_function("wire/request_encode", |b| b.iter(|| black_box(&req).encode()));
+    c.bench_function("wire/request_encode", |b| {
+        b.iter(|| black_box(&req).encode())
+    });
     c.bench_function("wire/request_decode", |b| {
         b.iter(|| Request::decode(black_box(&encoded)).unwrap())
     });

@@ -35,10 +35,7 @@ fn main() {
         let opts = QueryOptions::default();
         for _ in 0..QUERIES {
             w.info
-                .answer(
-                    &[InfoSelector::Keyword(keyword.to_string())],
-                    &opts,
-                )
+                .answer(&[InfoSelector::Keyword(keyword.to_string())], &opts)
                 .expect("query");
             w.clock.advance(Duration::from_millis(GAP_MS));
         }

@@ -48,7 +48,10 @@ pub fn table(header: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -83,10 +86,7 @@ pub fn manual_world_with_config(seed: u64, config: &ServiceConfig) -> ManualWorl
         },
         clock.clone(),
     );
-    let registry = CommandRegistry::new(
-        Arc::clone(&host),
-        ChargeMode::Advance(clock.clone()),
-    );
+    let registry = CommandRegistry::new(Arc::clone(&host), ChargeMode::Advance(clock.clone()));
     let info = InformationService::from_config(
         config,
         Arc::clone(&registry),

@@ -13,8 +13,8 @@
 //! accounting; latencies are wall-clock per request.
 
 use infogram::quickstart::{Sandbox, SandboxConfig};
-use infogram_sim::workload::MixedWorkload;
 use infogram_obs::Summary;
+use infogram_sim::workload::MixedWorkload;
 use infogram_sim::SplitMix64;
 use std::time::{Duration, Instant};
 
@@ -39,13 +39,21 @@ pub struct MixedOutcome {
 const JOB_RSL: &str = "(executable=simwork)(arguments=5)";
 
 /// Run the workload against the baseline world (Figure 2).
-pub fn run_baseline(clients: usize, requests_per_client: usize, p_info: f64, seed: u64) -> MixedOutcome {
+pub fn run_baseline(
+    clients: usize,
+    requests_per_client: usize,
+    p_info: f64,
+    seed: u64,
+) -> MixedOutcome {
     let sandbox = Sandbox::start_with(SandboxConfig {
         with_baseline: true,
         seed,
         ..Default::default()
     });
+    // with_baseline is set four lines up, so both servers exist.
+    #[allow(clippy::unwrap_used)]
     let gram_addr = sandbox.baseline_gram.as_ref().unwrap().addr().to_string();
+    #[allow(clippy::unwrap_used)]
     let mds_addr = sandbox.baseline_mds.as_ref().unwrap().addr().to_string();
 
     let before_conns = sandbox.net.metrics().counter_value("net.connections");
@@ -78,12 +86,8 @@ pub fn run_baseline(clients: usize, requests_per_client: usize, p_info: f64, see
                     }
                     infogram_sim::workload::RequestKind::JobSubmit => {
                         let h = dual.submit(JOB_RSL, false).expect("submit");
-                        dual.wait_terminal(
-                            &h,
-                            Duration::from_millis(2),
-                            Duration::from_secs(10),
-                        )
-                        .expect("terminal");
+                        dual.wait_terminal(&h, Duration::from_millis(2), Duration::from_secs(10))
+                            .expect("terminal");
                     }
                 }
                 latencies.push(t.elapsed());
@@ -109,7 +113,12 @@ pub fn run_baseline(clients: usize, requests_per_client: usize, p_info: f64, see
 }
 
 /// Run the workload against the unified world (Figure 3).
-pub fn run_unified(clients: usize, requests_per_client: usize, p_info: f64, seed: u64) -> MixedOutcome {
+pub fn run_unified(
+    clients: usize,
+    requests_per_client: usize,
+    p_info: f64,
+    seed: u64,
+) -> MixedOutcome {
     let sandbox = Sandbox::start_with(SandboxConfig {
         seed,
         ..Default::default()
@@ -127,10 +136,9 @@ pub fn run_unified(clients: usize, requests_per_client: usize, p_info: f64, seed
         let roots = sandbox.roots.clone();
         let clock = sandbox.clock.clone();
         threads.push(std::thread::spawn(move || {
-            let mut client = infogram_client::InfoGramClient::connect(
-                &net, &addr, &user, &roots, clock,
-            )
-            .expect("connect");
+            let mut client =
+                infogram_client::InfoGramClient::connect(&net, &addr, &user, &roots, clock)
+                    .expect("connect");
             let mut workload = MixedWorkload::new(p_info, seed ^ (c as u64 + 1));
             let mut rng = SplitMix64::new(seed ^ 0xc11e ^ c as u64);
             let mut latencies = Vec::with_capacity(requests_per_client);
@@ -144,11 +152,7 @@ pub fn run_unified(clients: usize, requests_per_client: usize, p_info: f64, seed
                     infogram_sim::workload::RequestKind::JobSubmit => {
                         let h = client.submit(JOB_RSL, false).expect("submit");
                         client
-                            .wait_terminal(
-                                &h,
-                                Duration::from_millis(2),
-                                Duration::from_secs(10),
-                            )
+                            .wait_terminal(&h, Duration::from_millis(2), Duration::from_secs(10))
                             .expect("terminal");
                     }
                 }
@@ -189,11 +193,5 @@ pub fn outcome_row(label: &str, o: &MixedOutcome) -> Vec<String> {
 
 /// The header matching [`outcome_row`].
 pub const OUTCOME_HEADER: [&str; 7] = [
-    "world",
-    "conns",
-    "messages",
-    "bytes",
-    "mean-lat",
-    "p95-lat",
-    "req/s",
+    "world", "conns", "messages", "bytes", "mean-lat", "p95-lat", "req/s",
 ];

@@ -60,8 +60,9 @@ impl DualClient {
         trust_roots: &[Certificate],
         clock: SharedClock,
     ) -> Result<DualClient, DualError> {
-        let gram = GramClient::connect(transport, gram_addr, credential, trust_roots, clock.clone())
-            .map_err(DualError::Gram)?;
+        let gram =
+            GramClient::connect(transport, gram_addr, credential, trust_roots, clock.clone())
+                .map_err(DualError::Gram)?;
         let mds = MdsClient::bind(transport, mds_addr, credential, trust_roots, &clock)
             .map_err(DualError::Mds)?;
         Ok(DualClient { gram, mds })

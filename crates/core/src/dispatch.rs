@@ -133,8 +133,7 @@ impl RequestDispatcher for InfoGramDispatcher {
     ) -> Reply {
         let start = self.engine.clock().now();
         // Jobs, status, cancel, ping: identical to GRAM.
-        if let Some(reply) =
-            dispatch_job_request(&self.engine, owner, account, &request, subscribe)
+        if let Some(reply) = dispatch_job_request(&self.engine, owner, account, &request, subscribe)
         {
             let kind = match &request {
                 Request::Submit { .. } => &self.job,
@@ -348,7 +347,10 @@ mod tests {
     #[test]
     fn filter_tag_narrows_result() {
         let (_c, d) = world();
-        match dispatch(&d, submit("(info=memory)(filter=Memory:free)(format=plain)")) {
+        match dispatch(
+            &d,
+            submit("(info=memory)(filter=Memory:free)(format=plain)"),
+        ) {
             Reply::InfoResult { body, .. } => {
                 assert!(body.contains("Memory:free"));
                 assert!(!body.contains("Memory:total"));

@@ -289,7 +289,12 @@ mod tests {
             infogram_rsl::XrslRequest::from_text("(executable=simwork)(arguments=1)").unwrap();
         w.service
             .engine()
-            .submit("(executable=simwork)(arguments=1)", req.job.unwrap(), "/O=Grid/CN=G", "gregor")
+            .submit(
+                "(executable=simwork)(arguments=1)",
+                req.job.unwrap(),
+                "/O=Grid/CN=G",
+                "gregor",
+            )
             .unwrap();
         std::thread::sleep(std::time::Duration::from_millis(5));
         w.service.engine().status(1);

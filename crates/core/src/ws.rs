@@ -99,12 +99,14 @@ pub fn encode_request(req: &Request) -> String {
             "<submit callback=\"{callback}\"><rsl>{}</rsl></submit>",
             escape(rsl)
         )),
-        Request::Status { handle } => {
-            envelope(&format!("<status><handle>{}</handle></status>", escape(&handle.to_string())))
-        }
-        Request::Cancel { handle } => {
-            envelope(&format!("<cancel><handle>{}</handle></cancel>", escape(&handle.to_string())))
-        }
+        Request::Status { handle } => envelope(&format!(
+            "<status><handle>{}</handle></status>",
+            escape(&handle.to_string())
+        )),
+        Request::Cancel { handle } => envelope(&format!(
+            "<cancel><handle>{}</handle></cancel>",
+            escape(&handle.to_string())
+        )),
         Request::Ping => envelope("<ping/>"),
     }
 }
@@ -125,10 +127,7 @@ pub fn decode_request(xml: &str) -> Result<Request, WsError> {
             .unwrap_or(false);
         return Ok(Request::Submit { rsl, callback });
     }
-    for (tag, make) in [
-        ("status", true),
-        ("cancel", false),
-    ] {
+    for (tag, make) in [("status", true), ("cancel", false)] {
         if xml.contains(&format!("<{tag}")) {
             let h = tag_content(xml, "handle").ok_or_else(|| err("missing <handle>"))?;
             let handle = JobHandle::parse(&h).map_err(|e| err(&e.to_string()))?;
@@ -248,7 +247,9 @@ pub struct WsGateway {
 
 impl std::fmt::Debug for WsGateway {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WsGateway").field("addr", &self.addr).finish_non_exhaustive()
+        f.debug_struct("WsGateway")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
     }
 }
 
@@ -276,7 +277,9 @@ impl WsGateway {
         let telemetry = dispatcher.telemetry().clone();
         let handle = std::thread::spawn(move || {
             while gw.running.load(Ordering::SeqCst) {
-                let Ok(conn) = gw.listener.accept() else { break };
+                let Ok(conn) = gw.listener.accept() else {
+                    break;
+                };
                 telemetry.counter("ws.connections").incr();
                 let conn: Arc<dyn Conn> = Arc::from(conn);
                 let dispatcher = Arc::clone(&dispatcher);
@@ -286,19 +289,19 @@ impl WsGateway {
                 std::thread::spawn(move || {
                     while let Ok(bytes) = conn.recv() {
                         telemetry.counter("ws.requests").incr();
-                    let reply = match std::str::from_utf8(&bytes)
-                        .map_err(|_| err("not utf-8"))
-                        .and_then(decode_request)
-                    {
-                        Ok(request) => {
-                            // No callback subscription over WS.
-                            dispatcher.dispatch(&owner, &account, request, &mut |_| {})
-                        }
-                        Err(e) => Reply::Error {
-                            code: infogram_proto::message::codes::BAD_RSL,
-                            message: e.to_string(),
-                        },
-                    };
+                        let reply = match std::str::from_utf8(&bytes)
+                            .map_err(|_| err("not utf-8"))
+                            .and_then(decode_request)
+                        {
+                            Ok(request) => {
+                                // No callback subscription over WS.
+                                dispatcher.dispatch(&owner, &account, request, &mut |_| {})
+                            }
+                            Err(e) => Reply::Error {
+                                code: infogram_proto::message::codes::BAD_RSL,
+                                message: e.to_string(),
+                            },
+                        };
                         if conn.send(encode_reply(&reply).as_bytes()).is_err() {
                             break;
                         }

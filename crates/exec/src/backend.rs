@@ -75,8 +75,11 @@ pub trait ExecBackend: Send + Sync {
     fn name(&self) -> &str;
     /// Start a job; returns the backend ref and the job's (eventual)
     /// captured output.
-    fn submit(&self, job: &JobRequest, account: &str)
-        -> Result<(BackendJobRef, String), BackendError>;
+    fn submit(
+        &self,
+        job: &JobRequest,
+        account: &str,
+    ) -> Result<(BackendJobRef, String), BackendError>;
     /// Poll current status.
     fn poll(&self, job_ref: &BackendJobRef) -> BackendStatus;
     /// Cancel; true if anything was actually stopped.
@@ -489,12 +492,10 @@ mod tests {
             vec![MachineAd::new("m1", &[("os", "linux")])],
         ));
         let backend = QueueBackend::new("condor", pool, reg);
-        let matching = job(
-            "&(executable=simwork)(arguments=100)(jobtype=batch)(requirements=(os linux))",
-        );
-        let impossible = job(
-            "&(executable=simwork)(arguments=100)(jobtype=batch)(requirements=(os plan9))",
-        );
+        let matching =
+            job("&(executable=simwork)(arguments=100)(jobtype=batch)(requirements=(os linux))");
+        let impossible =
+            job("&(executable=simwork)(arguments=100)(jobtype=batch)(requirements=(os plan9))");
         let (a, _) = backend.submit(&matching, "u").unwrap();
         let (b, _) = backend.submit(&impossible, "u").unwrap();
         assert_eq!(backend.poll(&a), BackendStatus::Active);
@@ -522,13 +523,16 @@ mod tests {
         let host = Arc::clone(reg.host());
         host.fs
             .write("/home/gregor/scan.jar", "compute 50; print scanned");
-        let backend =
-            JarletBackend::new(host, Policy::permissive(), ExecMode::Isolated);
+        let backend = JarletBackend::new(host, Policy::permissive(), ExecMode::Isolated);
         let (r, output) = backend
             .submit(&job("(executable=/home/gregor/scan.jar)"), "gregor")
             .unwrap();
         assert!(output.contains("scanned"));
-        assert_eq!(backend.poll(&r), BackendStatus::Active, "runs for its compute time");
+        assert_eq!(
+            backend.poll(&r),
+            BackendStatus::Active,
+            "runs for its compute time"
+        );
         clock.advance(Duration::from_millis(100));
         assert_eq!(backend.poll(&r), BackendStatus::Finished { exit_code: 0 });
     }
@@ -549,7 +553,10 @@ mod tests {
             .unwrap();
         assert!(output.contains("hello-grid"));
         clock.advance(Duration::from_secs(1));
-        assert!(matches!(backend.poll(&r), BackendStatus::Finished { exit_code: 0 }));
+        assert!(matches!(
+            backend.poll(&r),
+            BackendStatus::Finished { exit_code: 0 }
+        ));
     }
 
     #[test]

@@ -9,12 +9,12 @@
 
 use crate::backend::{BackendError, BackendJobRef, BackendStatus, ExecBackend};
 use crate::wal::{RecoveredState, Wal, WalEvent};
+use infogram_host::machine::SimulatedHost;
 use infogram_proto::handle::JobHandle;
 use infogram_proto::message::JobStateCode;
 use infogram_rsl::{JobRequest, JobType, TimeoutAction, XrslRequest};
 use infogram_sim::clock::SharedClock;
 use infogram_sim::metrics::MetricSet;
-use infogram_host::machine::SimulatedHost;
 use infogram_sim::SimTime;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -176,7 +176,9 @@ impl JobEngine {
     /// Attach the sandboxed jarlet backend. Must be called before the
     /// engine is shared across threads.
     pub fn with_jarlet(self: Arc<Self>, backend: Arc<dyn ExecBackend>) -> Arc<Self> {
-        let mut inner = Arc::try_unwrap(self).expect("with_jarlet must be called before the engine is shared");
+        let unshared = Arc::try_unwrap(self);
+        // lint:allow(unwrap) — documented builder contract: panics if the engine is already shared
+        let mut inner = unshared.expect("with_jarlet must be called before engine is shared");
         inner.jarlet = Some(backend);
         Arc::new(inner)
     }
@@ -353,8 +355,10 @@ impl JobEngine {
     fn backend_of(&self, entry: &JobEntry) -> Arc<dyn ExecBackend> {
         match entry.kind {
             BackendKind::Fork => Arc::clone(&self.fork),
+            // lint:allow(unwrap) — submit() rejects jarlet jobs unless the backend was attached
             BackendKind::Jarlet => Arc::clone(self.jarlet.as_ref().expect("jarlet set")),
             BackendKind::Queue => {
+                // lint:allow(unwrap) — BackendKind::Queue is only assigned together with a queue name
                 let name = entry.queue_name.as_deref().expect("queue name set");
                 Arc::clone(&self.queues.read()[name])
             }
@@ -495,7 +499,9 @@ impl JobEngine {
         // Backend execution latency (submission → terminal state, on the
         // service clock).
         self.metrics.histogram("jobs.wall").record(wall);
-        let exit = exit_code.map(|c| format!(" (exit {c})")).unwrap_or_default();
+        let exit = exit_code
+            .map(|c| format!(" (exit {c})"))
+            .unwrap_or_default();
         self.metrics.event(
             now.as_secs_f64(),
             "job.state",
@@ -754,7 +760,10 @@ mod tests {
     #[test]
     fn restart_on_fail_retries() {
         let w = world();
-        let h = submit(&w, "&(executable=simwork)(arguments=100 5)(restartonfail=2)");
+        let h = submit(
+            &w,
+            "&(executable=simwork)(arguments=100 5)(restartonfail=2)",
+        );
         // First attempt fails at t=100 → auto-restart.
         w.clock.advance(Duration::from_millis(100));
         let st = w.engine.status(h.job_id).unwrap();
@@ -833,10 +842,7 @@ mod tests {
         let w = world();
         let req =
             XrslRequest::from_text("&(executable=simwork)(jobtype=batch)(queue=lsf)").unwrap();
-        match w
-            .engine
-            .submit("x", req.job.unwrap(), "/O=Grid/CN=T", "t")
-        {
+        match w.engine.submit("x", req.job.unwrap(), "/O=Grid/CN=T", "t") {
             Err(SubmitError::UnknownQueue(q)) => assert_eq!(q, "lsf"),
             other => panic!("{other:?}"),
         }
@@ -883,7 +889,10 @@ mod tests {
             .any(|e| matches!(e, WalEvent::Submitted { job_id, .. } if *job_id == h.job_id)));
         assert!(events.iter().any(|e| matches!(
             e,
-            WalEvent::Finished { state: JobStateCode::Done, .. }
+            WalEvent::Finished {
+                state: JobStateCode::Done,
+                ..
+            }
         )));
     }
 
@@ -911,7 +920,11 @@ mod tests {
             .expect("stdout file written");
         assert!(out.contains("simulated work complete"));
         assert_eq!(
-            w.registry.host().fs.read_text("/home/gregor/job.err").unwrap(),
+            w.registry
+                .host()
+                .fs
+                .read_text("/home/gregor/job.err")
+                .unwrap(),
             "",
             "clean exit leaves an empty stderr file"
         );

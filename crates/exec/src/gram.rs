@@ -14,9 +14,7 @@
 //! exactly this refusal.
 
 use crate::engine::{JobEngine, SubmitError};
-use infogram_gsi::{
-    wire_server_respond, wire_server_verify, Authorizer, Certificate, Credential,
-};
+use infogram_gsi::{wire_server_respond, wire_server_verify, Authorizer, Certificate, Credential};
 use infogram_proto::message::{codes, JobStateCode, Reply, Request};
 use infogram_proto::transport::{Conn, Listener, ProtoError, Transport};
 use infogram_rsl::{RequestKind, XrslRequest};
@@ -110,13 +108,13 @@ pub fn dispatch_job_request(
                 // paper states for J-GRAM.
                 return Some(Reply::Error {
                     code: codes::UNSUPPORTED,
-                    message: "multi-request (+) submission is not supported (no DUROC)"
-                        .to_string(),
+                    message: "multi-request (+) submission is not supported (no DUROC)".to_string(),
                 });
             }
             let req = &parsed[0];
             match req.kind() {
                 RequestKind::Job => {
+                    // lint:allow(unwrap) — kind() returns Job only when the job spec is present
                     let spec = req.job.clone().expect("kind Job implies job");
                     match engine.submit(rsl, spec, owner, account) {
                         Ok(handle) => {
@@ -302,8 +300,7 @@ impl GramServer {
         let mut rng = SplitMix64::new(now.as_nanos() ^ 0x6a7e_5eed);
         let Ok(hello) = conn.recv() else { return };
         let (resp, pending) =
-            match wire_server_respond(&self.credential, &self.trust_roots, &hello, now, &mut rng)
-            {
+            match wire_server_respond(&self.credential, &self.trust_roots, &hello, now, &mut rng) {
                 Ok(x) => x,
                 Err(e) => {
                     telemetry.counter("gram.auth_failures").incr();
@@ -379,9 +376,7 @@ impl GramServer {
             let reply = match Request::decode(&bytes) {
                 Ok(request) => {
                     let mut subscribe = |job_id: u64| {
-                        subscriptions
-                            .lock()
-                            .insert(job_id, JobStateCode::Pending);
+                        subscriptions.lock().insert(job_id, JobStateCode::Pending);
                     };
                     dispatcher.dispatch(&owner, &account, request, &mut subscribe)
                 }

@@ -71,11 +71,7 @@ impl Jarlet {
     /// `compute 10; read /data/in.dat; write /tmp/out result; print done`.
     pub fn parse(src: &str) -> Result<Jarlet, JarletParseError> {
         let mut ops = Vec::new();
-        for (i, stmt) in src
-            .split([';', '\n'])
-            .map(str::trim)
-            .enumerate()
-        {
+        for (i, stmt) in src.split([';', '\n']).map(str::trim).enumerate() {
             if stmt.is_empty() || stmt.starts_with('#') {
                 continue;
             }
@@ -463,8 +459,7 @@ mod tests {
     #[test]
     fn permissive_policy_allows_everything() {
         let h = host();
-        let j = Jarlet::parse("read /etc/grid-security/hostcert.pem; net peer:80; spawn")
-            .unwrap();
+        let j = Jarlet::parse("read /etc/grid-security/hostcert.pem; net peer:80; spawn").unwrap();
         let out = run_jarlet(&j, &Policy::permissive(), ExecMode::InProcess, &h);
         assert_eq!(out.exit_code, 0);
         assert!(out.violations.is_empty());

@@ -175,7 +175,10 @@ impl std::fmt::Display for CertError {
             CertError::BrokenChain {
                 expected_issuer,
                 found,
-            } => write!(f, "broken chain: expected issuer {expected_issuer}, found {found}"),
+            } => write!(
+                f,
+                "broken chain: expected issuer {expected_issuer}, found {found}"
+            ),
             CertError::UntrustedRoot { root } => write!(f, "untrusted root: {root}"),
             CertError::NotACa { subject } => write!(f, "signer is not a CA: {subject}"),
             CertError::ProxyViolation { reason } => write!(f, "proxy violation: {reason}"),
@@ -380,9 +383,7 @@ pub fn verify_chain(
                 Some(root) => root,
                 None => {
                     // Self-signed trusted root included in the chain?
-                    if cert.issuer == cert.subject
-                        && trust_roots.iter().any(|r| r == cert)
-                    {
+                    if cert.issuer == cert.subject && trust_roots.iter().any(|r| r == cert) {
                         cert
                     } else {
                         return Err(CertError::UntrustedRoot {
@@ -409,7 +410,10 @@ pub fn verify_chain(
                 });
             }
         }
-        if !signer.subject_key.verify(&cert.signed_bytes(), cert.signature) {
+        if !signer
+            .subject_key
+            .verify(&cert.signed_bytes(), cert.signature)
+        {
             return Err(CertError::BadSignature {
                 subject: cert.subject.to_string(),
             });
@@ -544,14 +548,18 @@ mod tests {
         let (ca, mut rng) = setup();
         let user = Dn::user("Grid", "ANL", "Deep Delegator");
         let cred = ca.issue(&user, &mut rng, SimTime::ZERO, year());
-        let p1 = cred
-            .delegate(&mut rng, SimTime::ZERO, year(), 2)
-            .unwrap();
+        let p1 = cred.delegate(&mut rng, SimTime::ZERO, year(), 2).unwrap();
         let p2 = p1.delegate(&mut rng, SimTime::ZERO, year(), 9).unwrap();
         // Depth capped by parent: p1 had 2, so p2 gets at most 1.
-        assert_eq!(p2.chain[0].cert_type, CertType::Proxy { depth_remaining: 1 });
+        assert_eq!(
+            p2.chain[0].cert_type,
+            CertType::Proxy { depth_remaining: 1 }
+        );
         let p3 = p2.delegate(&mut rng, SimTime::ZERO, year(), 9).unwrap();
-        assert_eq!(p3.chain[0].cert_type, CertType::Proxy { depth_remaining: 0 });
+        assert_eq!(
+            p3.chain[0].cert_type,
+            CertType::Proxy { depth_remaining: 0 }
+        );
         // Exhausted.
         match p3.delegate(&mut rng, SimTime::ZERO, year(), 1) {
             Err(CertError::ProxyViolation { .. }) => {}
@@ -646,9 +654,7 @@ mod tests {
             SimTime::ZERO,
             year(),
         );
-        let mut proxy = cred
-            .delegate(&mut rng, SimTime::ZERO, year(), 0)
-            .unwrap();
+        let mut proxy = cred.delegate(&mut rng, SimTime::ZERO, year(), 0).unwrap();
         // Corrupt the proxy's subject so it no longer extends the issuer,
         // and re-sign it properly so only the naming rule trips.
         proxy.chain[0].subject = Dn::user("Grid", "ANL", "Unrelated");

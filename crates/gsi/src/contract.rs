@@ -47,7 +47,10 @@ impl Window {
         match self {
             Window::Always => true,
             Window::Absolute { from, until } => *from <= now && now < *until,
-            Window::Daily { from_sec, until_sec } => {
+            Window::Daily {
+                from_sec,
+                until_sec,
+            } => {
                 let sod = (now.as_nanos() / 1_000_000_000 % SECS_PER_DAY) as u32;
                 if from_sec <= until_sec {
                     (*from_sec..*until_sec).contains(&sod)
@@ -190,7 +193,11 @@ mod tests {
             vec![Window::Always],
         );
         assert!(c.authorizes(&Dn::user("Grid", "ANL", "Anyone"), "any-res", SimTime::ZERO));
-        assert!(!c.authorizes(&Dn::user("Grid", "ISI", "Outsider"), "any-res", SimTime::ZERO));
+        assert!(!c.authorizes(
+            &Dn::user("Grid", "ISI", "Outsider"),
+            "any-res",
+            SimTime::ZERO
+        ));
     }
 
     #[test]

@@ -75,6 +75,7 @@ impl Dn {
             ("OU".to_string(), unit.to_string()),
             ("CN".to_string(), common_name.to_string()),
         ])
+        // lint:allow(unwrap) — fixed RDN keys; from_rdns only rejects empty/invalid keys
         .expect("static RDNs are valid")
     }
 

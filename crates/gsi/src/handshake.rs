@@ -413,8 +413,7 @@ mod tests {
         let now = SimTime::from_secs(9);
 
         let (m1, client_nonce) = wire_client_hello(&user, &mut w.rng);
-        let (m2, pending) =
-            wire_server_respond(&host, &roots, &m1, now, &mut w.rng).unwrap();
+        let (m2, pending) = wire_server_respond(&host, &roots, &m1, now, &mut w.rng).unwrap();
         let (m3, cctx) = wire_client_finish(&user, &roots, &m2, client_nonce, now).unwrap();
         let sctx = wire_server_verify(&pending, &m3).unwrap();
 

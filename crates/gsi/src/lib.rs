@@ -43,7 +43,7 @@ pub use contract::{Contract, SubjectMatch, Window};
 pub use dn::Dn;
 pub use gridmap::GridMap;
 pub use handshake::{
-    authenticate, wire_client_finish, wire_client_hello, wire_server_respond,
-    wire_server_verify, HandshakeError, SecurityContext, ServerPending, HANDSHAKE_MESSAGES,
+    authenticate, wire_client_finish, wire_client_hello, wire_server_respond, wire_server_verify,
+    HandshakeError, SecurityContext, ServerPending, HANDSHAKE_MESSAGES,
 };
 pub use policy::{Authorizer, AuthzDecision, AuthzError};

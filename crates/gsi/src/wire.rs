@@ -74,12 +74,8 @@ fn decode_cert(s: &str) -> Result<Certificate, WireParseError> {
         subject: Dn::parse(fields[0]).map_err(|e| err(&e.to_string()))?,
         issuer: Dn::parse(fields[1]).map_err(|e| err(&e.to_string()))?,
         serial: fields[2].parse().map_err(|_| err("bad serial"))?,
-        not_before: SimTime::from_nanos(
-            fields[3].parse().map_err(|_| err("bad not_before"))?,
-        ),
-        not_after: SimTime::from_nanos(
-            fields[4].parse().map_err(|_| err("bad not_after"))?,
-        ),
+        not_before: SimTime::from_nanos(fields[3].parse().map_err(|_| err("bad not_before"))?),
+        not_after: SimTime::from_nanos(fields[4].parse().map_err(|_| err("bad not_after"))?),
         subject_key: PublicKey(fields[5].parse().map_err(|_| err("bad key"))?),
         cert_type,
         signature: fields[7].parse().map_err(|_| err("bad signature"))?,
@@ -132,12 +128,9 @@ mod tests {
         let decoded = decode_chain(&encoded).unwrap();
         assert_eq!(decoded, proxy.chain);
         // The decoded chain still validates.
-        let id = crate::cert::verify_chain(
-            &decoded,
-            &[ca.certificate().clone()],
-            SimTime::from_secs(1),
-        )
-        .unwrap();
+        let id =
+            crate::cert::verify_chain(&decoded, &[ca.certificate().clone()], SimTime::from_secs(1))
+                .unwrap();
         assert_eq!(id, Dn::user("Grid", "ANL", "Wire User"));
     }
 

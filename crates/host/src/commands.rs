@@ -86,8 +86,7 @@ pub enum ChargeMode {
     None,
 }
 
-type Handler =
-    Arc<dyn Fn(&SimulatedHost, &[&str]) -> (String, i32) + Send + Sync + 'static>;
+type Handler = Arc<dyn Fn(&SimulatedHost, &[&str]) -> (String, i32) + Send + Sync + 'static>;
 
 struct CommandSpec {
     handler: Handler,
@@ -324,7 +323,11 @@ impl CommandRegistry {
         });
 
         self.register("ls", fast.clone(), |host, args| {
-            let dir = args.iter().find(|a| !a.starts_with('-')).copied().unwrap_or("/");
+            let dir = args
+                .iter()
+                .find(|a| !a.starts_with('-'))
+                .copied()
+                .unwrap_or("/");
             let entries = host.fs.list(dir);
             if entries.is_empty() && !host.fs.exists(dir) {
                 (format!("ls: cannot access {dir}\n"), 2)
@@ -382,10 +385,7 @@ impl CommandRegistry {
         // pair instructs `plan` to use the requested runtime as the
         // process duration.
         self.register("simwork", CostModel::Fixed(Duration::ZERO), |_, args| {
-            let ms: u64 = args
-                .first()
-                .and_then(|a| a.parse().ok())
-                .unwrap_or(0);
+            let ms: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(0);
             let exit: i32 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(0);
             (
                 format!("__runtime_ms: {ms}\nstatus: simulated work complete\n"),
@@ -395,10 +395,7 @@ impl CommandRegistry {
 
         // `sleep <seconds>` — classic job body.
         self.register("sleep", CostModel::Fixed(Duration::ZERO), |_, args| {
-            let secs: f64 = args
-                .first()
-                .and_then(|a| a.parse().ok())
-                .unwrap_or(0.0);
+            let secs: f64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(0.0);
             (format!("__runtime_ms: {}\n", (secs * 1000.0) as u64), 0)
         });
     }

@@ -90,9 +90,8 @@ impl CpuLoadModel {
         let a15 = (-dt / 900.0).exp();
         while st.advanced_to.as_nanos() + step_ns <= t.as_nanos() {
             let noise = st.rng.standard_normal();
-            let x = st.instantaneous
-                + self.phi * (self.mean - st.instantaneous)
-                + self.sigma * noise;
+            let x =
+                st.instantaneous + self.phi * (self.mean - st.instantaneous) + self.sigma * noise;
             st.instantaneous = x.clamp(0.0, self.max_load);
             st.load1 = a1 * st.load1 + (1.0 - a1) * st.instantaneous;
             st.load5 = a5 * st.load5 + (1.0 - a5) * st.instantaneous;

@@ -176,7 +176,10 @@ mod tests {
             fs.list("/home/gregor"),
             vec!["a.txt".to_string(), "b.txt".to_string(), "sub".to_string()]
         );
-        assert_eq!(fs.list("/home"), vec!["gregor".to_string(), "other".to_string()]);
+        assert_eq!(
+            fs.list("/home"),
+            vec!["gregor".to_string(), "other".to_string()]
+        );
         assert!(fs.list("/empty").is_empty());
     }
 
@@ -204,9 +207,8 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_path() -> impl Strategy<Value = String> {
-        prop::collection::vec("[a-z][a-z.]{0,5}", 1..4).prop_map(|segs| {
-            format!("/{}", segs.join("/"))
-        })
+        prop::collection::vec("[a-z][a-z.]{0,5}", 1..4)
+            .prop_map(|segs| format!("/{}", segs.join("/")))
     }
 
     proptest! {

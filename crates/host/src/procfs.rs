@@ -23,9 +23,7 @@ pub fn render_meminfo(host: &SimulatedHost) -> String {
     let total_kb = host.memory.total() / 1024;
     let free_kb = host.memory.free() / 1024;
     let used_kb = host.memory.used() / 1024;
-    format!(
-        "MemTotal: {total_kb} kB\nMemFree: {free_kb} kB\nMemUsed: {used_kb} kB\n"
-    )
+    format!("MemTotal: {total_kb} kB\nMemFree: {free_kb} kB\nMemUsed: {used_kb} kB\n")
 }
 
 /// Render `/proc/uptime`: seconds-up and (fake) idle seconds.

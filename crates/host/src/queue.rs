@@ -486,6 +486,7 @@ impl Matchmaker {
                 .min_by_key(|(_, e)| *e);
             match next {
                 Some((m, end)) if end <= now => {
+                    // lint:allow(unwrap) — index m came from filter_map over the Some entries above
                     let r = st.running[m].take().expect("running job present");
                     st.cursor = end;
                     st.finished.insert(
@@ -593,13 +594,22 @@ mod tests {
         let q = FifoQueue::new(clock.clone(), 1);
         let a = q.submit(BatchJob::simple("a", "u1", secs(10)));
         let b = q.submit(BatchJob::simple("b", "u1", secs(10)));
-        assert_eq!(q.poll(a), Some(JobOutcome::Running { started_at: SimTime::ZERO }));
+        assert_eq!(
+            q.poll(a),
+            Some(JobOutcome::Running {
+                started_at: SimTime::ZERO
+            })
+        );
         assert_eq!(q.poll(b), Some(JobOutcome::Queued));
         assert_eq!(q.queued_depth(), 1);
         clock.advance(secs(10));
         // a completes at t=10, b starts at t=10.
-        assert!(matches!(q.poll(a), Some(JobOutcome::Completed { finished_at, .. }) if finished_at == SimTime::from_secs(10)));
-        assert!(matches!(q.poll(b), Some(JobOutcome::Running { started_at }) if started_at == SimTime::from_secs(10)));
+        assert!(
+            matches!(q.poll(a), Some(JobOutcome::Completed { finished_at, .. }) if finished_at == SimTime::from_secs(10))
+        );
+        assert!(
+            matches!(q.poll(b), Some(JobOutcome::Running { started_at }) if started_at == SimTime::from_secs(10))
+        );
         clock.advance(secs(10));
         assert!(matches!(q.poll(b), Some(JobOutcome::Completed { .. })));
     }
@@ -666,7 +676,10 @@ mod tests {
         let h2 = q.submit(BatchJob::simple("h2", "heavy", secs(10)));
         let l1 = q.submit(BatchJob::simple("l1", "light", secs(10)));
         clock.advance(secs(10)); // h1 done; next dispatch decision
-        assert!(matches!(q.poll(l1), Some(JobOutcome::Running { .. })), "light user should run before heavy's second job");
+        assert!(
+            matches!(q.poll(l1), Some(JobOutcome::Running { .. })),
+            "light user should run before heavy's second job"
+        );
         assert_eq!(q.poll(h2), Some(JobOutcome::Queued));
         // Each user has now dispatched one 10s single-cpu job.
         assert!((q.usage_of("heavy") - 10.0).abs() < 1e-9);
@@ -722,7 +735,9 @@ mod tests {
         assert!(matches!(pool.poll(a), Some(JobOutcome::Running { .. })));
         assert_eq!(pool.poll(b), Some(JobOutcome::Queued));
         clock.advance(secs(10));
-        assert!(matches!(pool.poll(b), Some(JobOutcome::Running { started_at }) if started_at == SimTime::from_secs(10)));
+        assert!(
+            matches!(pool.poll(b), Some(JobOutcome::Running { started_at }) if started_at == SimTime::from_secs(10))
+        );
     }
 
     #[test]

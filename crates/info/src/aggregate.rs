@@ -109,8 +109,7 @@ impl Aggregate {
                 continue;
             }
             self.fanout.add(able.len() as u64);
-            let answers =
-                par::fan_out(&able, |_, m| m.answer(std::slice::from_ref(sel), opts));
+            let answers = par::fan_out(&able, |_, m| m.answer(std::slice::from_ref(sel), opts));
             for answer in answers {
                 records.extend(answer?);
             }

@@ -225,9 +225,10 @@ impl SystemInformation {
     /// function; `None` if never produced.
     pub fn current_quality(&self) -> Option<f64> {
         let st = self.state.lock();
-        st.cached
-            .as_ref()
-            .map(|c| self.degradation.quality(self.clock.now().since(c.produced_at)))
+        st.cached.as_ref().map(|c| {
+            self.degradation
+                .quality(self.clock.now().since(c.produced_at))
+        })
     }
 
     /// Non-blocking cache read: the paper's `queryState`.
@@ -368,9 +369,7 @@ impl SystemInformation {
     pub fn cached_state(&self) -> Result<Snapshot, QueryError> {
         match self.query_state() {
             Ok(snap) => Ok(snap),
-            Err(QueryError::NeverProduced) | Err(QueryError::Expired { .. }) => {
-                self.update_state()
-            }
+            Err(QueryError::NeverProduced) | Err(QueryError::Expired { .. }) => self.update_state(),
             Err(e) => Err(e),
         }
     }
@@ -395,9 +394,7 @@ mod tests {
     use infogram_sim::{ManualClock, SystemClock};
     use std::sync::atomic::{AtomicU64, Ordering};
 
-    fn counted_provider(
-        calls: Arc<AtomicU64>,
-    ) -> Box<dyn InfoProvider> {
+    fn counted_provider(calls: Arc<AtomicU64>) -> Box<dyn InfoProvider> {
         Box::new(FnProvider::new("K", move || {
             let n = calls.fetch_add(1, Ordering::SeqCst) + 1;
             Ok(vec![("n".to_string(), n.to_string())])

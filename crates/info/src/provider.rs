@@ -211,13 +211,13 @@ impl InfoProvider for FileProvider {
         if self.path.starts_with("/proc/") {
             procfs::sync_procfs(&self.host);
         }
-        let text = self
-            .host
-            .fs
-            .read_text(&self.path)
-            .ok_or_else(|| ProviderError::FileMissing {
-                path: self.path.clone(),
-            })?;
+        let text =
+            self.host
+                .fs
+                .read_text(&self.path)
+                .ok_or_else(|| ProviderError::FileMissing {
+                    path: self.path.clone(),
+                })?;
         // `key: value` lines if the file has them, else the whole content.
         let kvs = parse_kv_output(&text);
         if kvs.is_empty() {

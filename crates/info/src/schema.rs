@@ -114,12 +114,7 @@ mod tests {
         let clock = ManualClock::new();
         let host = SimulatedHost::default_on(clock.clone());
         let reg = CommandRegistry::new(host, ChargeMode::Advance(clock.clone()));
-        InformationService::from_config(
-            &ServiceConfig::table1(),
-            reg,
-            clock,
-            MetricSet::new(),
-        )
+        InformationService::from_config(&ServiceConfig::table1(), reg, clock, MetricSet::new())
     }
 
     #[test]
@@ -164,10 +159,7 @@ mod tests {
         let svc = service();
         let recs = Schema::of(&svc).to_records("node0");
         assert_eq!(recs.len(), 5);
-        let cpuload = recs
-            .iter()
-            .find(|r| r.keyword == "Schema.CPULoad")
-            .unwrap();
+        let cpuload = recs.iter().find(|r| r.keyword == "Schema.CPULoad").unwrap();
         assert_eq!(cpuload.get("ttl_ms").unwrap().value, "0");
         assert_eq!(
             cpuload.get("source").unwrap().value,

@@ -159,14 +159,10 @@ impl InformationService {
         clock: SharedClock,
         metrics: MetricSet,
     ) -> Arc<Self> {
-        let service =
-            InformationService::new(registry.host().hostname(), clock.clone(), metrics);
+        let service = InformationService::new(registry.host().hostname(), clock.clone(), metrics);
         for entry in &config.entries {
-            let provider = CommandProvider::new(
-                &entry.keyword,
-                &entry.command,
-                Arc::clone(&registry),
-            );
+            let provider =
+                CommandProvider::new(&entry.keyword, &entry.command, Arc::clone(&registry));
             let si = SystemInformation::new(
                 Box::new(provider),
                 clock.clone(),
@@ -202,10 +198,7 @@ impl InformationService {
     /// convention), so each `(info=metrics)` reads a live snapshot; all
     /// the xRSL tags (`filter`, `response`, `format`, `performance`)
     /// apply to it like to any other keyword. Returns the entry.
-    pub fn register_metrics_provider(
-        &self,
-        telemetry: MetricSet,
-    ) -> Arc<SystemInformation> {
+    pub fn register_metrics_provider(&self, telemetry: MetricSet) -> Arc<SystemInformation> {
         let si = SystemInformation::new(
             Box::new(TelemetryProvider::new(telemetry)),
             self.clock.clone(),
@@ -275,8 +268,7 @@ impl InformationService {
             ResponseMode::Immediate => true,
             ResponseMode::Last => false,
             ResponseMode::Cached => {
-                Self::quality_forces_refresh(&reg.si, opts)
-                    || reg.si.validity().is_zero()
+                Self::quality_forces_refresh(&reg.si, opts) || reg.si.validity().is_zero()
             }
         }
     }
@@ -459,6 +451,7 @@ impl InformationService {
                     records.extend(Schema::of(self).to_records(&self.hostname));
                 }
                 Item::Fetch(reg) => {
+                    // lint:allow(unwrap) — the scatter loop above fills one slot per Fetch item
                     let snap = slot.expect("every fetch item was filled")?;
                     records.push(self.to_record(&reg.si, &snap, opts));
                 }
@@ -731,9 +724,18 @@ mod tests {
         let km = svc.keyword_metrics("Memory").unwrap();
         // The handles cached at register() time are the very instruments
         // the telemetry set resolves by name.
-        assert!(Arc::ptr_eq(&km.hits, &svc.metrics().counter("info.hits.Memory")));
-        assert!(Arc::ptr_eq(&km.misses, &svc.metrics().counter("info.misses.Memory")));
-        assert!(Arc::ptr_eq(&km.stale, &svc.metrics().counter("info.stale.Memory")));
+        assert!(Arc::ptr_eq(
+            &km.hits,
+            &svc.metrics().counter("info.hits.Memory")
+        ));
+        assert!(Arc::ptr_eq(
+            &km.misses,
+            &svc.metrics().counter("info.misses.Memory")
+        ));
+        assert!(Arc::ptr_eq(
+            &km.stale,
+            &svc.metrics().counter("info.stale.Memory")
+        ));
         assert!(Arc::ptr_eq(
             &km.validity_ms,
             &svc.metrics().gauge("info.validity_ms.Memory")

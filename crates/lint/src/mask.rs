@@ -1,0 +1,258 @@
+//! A tiny Rust lexer that blanks out the contents of comments and
+//! string/char literals so the rule patterns only ever match real code.
+//!
+//! The masked text has exactly the same length and line structure as the
+//! input: every masked character becomes a space (newlines are kept), so
+//! line and column numbers carry over unchanged. Attributes, identifiers,
+//! and punctuation survive untouched — which is all the token-oriented
+//! rules need.
+
+/// Blank out comments and the interiors of string/char literals.
+pub fn mask_code(src: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match state {
+            State::Code => match b {
+                b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                    state = State::LineComment;
+                    // Keep the `//` so rules can tell a comment line from
+                    // a masked string line (the text is still blanked).
+                    out.extend_from_slice(b"//");
+                    i += 2;
+                }
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    state = State::BlockComment(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                b'"' => {
+                    state = State::Str;
+                    out.push(b'"');
+                    i += 1;
+                }
+                b'r' if is_raw_string_start(bytes, i) => {
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    state = State::RawStr(hashes);
+                    // keep `r##"` visible so literal starts stay findable
+                    out.extend_from_slice(&bytes[i..=j]);
+                    i = j + 1;
+                }
+                b'\'' => {
+                    // Distinguish a char literal from a lifetime: a char
+                    // literal closes with `'` within a few bytes; a
+                    // lifetime never closes.
+                    if is_char_literal(bytes, i) {
+                        state = State::Char;
+                        out.push(b'\'');
+                        i += 1;
+                    } else {
+                        out.push(b'\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(b);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if b == b'\n' {
+                    state = State::Code;
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::Str => match b {
+                b'\\' if i + 1 < bytes.len() => {
+                    out.push(b' ');
+                    out.push(if bytes[i + 1] == b'\n' { b'\n' } else { b' ' });
+                    i += 2;
+                }
+                b'"' => {
+                    state = State::Code;
+                    out.push(b'"');
+                    i += 1;
+                }
+                _ => {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            },
+            State::RawStr(hashes) => {
+                if b == b'"' && has_hashes(bytes, i + 1, hashes) {
+                    out.push(b'"');
+                    out.extend(std::iter::repeat_n(b'#', hashes as usize));
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::Char => match b {
+                b'\\' if i + 1 < bytes.len() => {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                b'\'' => {
+                    state = State::Code;
+                    out.push(b'\'');
+                    i += 1;
+                }
+                _ => {
+                    out.push(b' ');
+                    i += 1;
+                }
+            },
+        }
+    }
+    // The lexer only ever emits ASCII in masked regions and copies the
+    // rest verbatim, so this cannot fail on valid UTF-8 input.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// `r"` / `r#"` / `br"` raw-string openings (identifier `r` followed by
+/// hashes and a quote). Must not fire on identifiers ending in `r`.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    if i > 0 {
+        let prev = bytes[i - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+fn has_hashes(bytes: &[u8], from: usize, count: u32) -> bool {
+    (0..count as usize).all(|k| bytes.get(from + k) == Some(&b'#'))
+}
+
+/// `'x'`, `'\n'`, `'\''`, `'\u{1F600}'` are char literals; `'a` (a
+/// lifetime) is not. A closing quote within the next 12 bytes that is not
+/// immediately `'ident` decides it.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(c) if *c != b'\'' => {
+            // `'c'` exactly: one char then a quote — lifetimes like `'a`
+            // are followed by non-quote (`,`, `>`, ` `, `:`).
+            if bytes.get(i + 2) == Some(&b'\'') {
+                return true;
+            }
+            // Unicode chars are multi-byte; scan a short window.
+            if !c.is_ascii() {
+                for k in 2..8 {
+                    if bytes.get(i + k) == Some(&b'\'') {
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_comments() {
+        let m = mask_code("let x = 1; // Instant::now\nlet y = 2;\n");
+        assert!(!m.contains("Instant"));
+        assert!(m.contains("let y = 2;"));
+        assert_eq!(m.lines().count(), 2);
+    }
+
+    #[test]
+    fn masks_block_comments_nested() {
+        let m = mask_code("a /* one /* two */ still */ b");
+        assert!(m.starts_with('a'));
+        assert!(m.trim_end().ends_with('b'));
+        assert!(!m.contains("still"));
+    }
+
+    #[test]
+    fn masks_string_contents_keeps_quotes() {
+        let m = mask_code("let s = \".unwrap()\";");
+        assert!(!m.contains(".unwrap()"));
+        assert_eq!(m.matches('"').count(), 2);
+        assert_eq!(m.len(), "let s = \".unwrap()\";".len());
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let m = mask_code(r#"let s = "a\"b.unwrap()"; x.unwrap();"#);
+        assert_eq!(m.matches(".unwrap()").count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_masked() {
+        let m = mask_code("let s = r#\"println!(\"hi\")\"#; println!(\"x\");");
+        assert_eq!(m.matches("println!").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let m = mask_code("fn f<'a>(x: &'a str) -> &'a str { x } // done");
+        assert!(m.contains("fn f<'a>(x: &'a str) -> &'a str { x }"));
+        assert!(!m.contains("done"));
+    }
+
+    #[test]
+    fn char_literals_masked() {
+        let m = mask_code("let c = '{'; let d = '\\n'; let e = '}';");
+        assert!(!m.contains('{'), "{m}");
+        assert!(!m.contains('}'), "{m}");
+    }
+
+    #[test]
+    fn preserves_line_structure() {
+        let src = "a\n\"multi\nline\nstring\"\nb\n";
+        let m = mask_code(src);
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+}

@@ -84,9 +84,7 @@ impl MdsClient {
         let ack = conn.recv()?;
         match MdsReply::decode(&ack) {
             Ok(MdsReply::SearchResult { .. }) => {}
-            Ok(MdsReply::Error { message }) => {
-                return Err(MdsClientError::BindFailed(message))
-            }
+            Ok(MdsReply::Error { message }) => return Err(MdsClientError::BindFailed(message)),
             Err(e) => return Err(MdsClientError::Protocol(e.to_string())),
         }
         Ok(MdsClient {
@@ -211,21 +209,13 @@ mod tests {
     #[test]
     fn bind_search_unbind() {
         let w = world();
-        let mut client = MdsClient::bind(
-            &w.net,
-            w.server.addr(),
-            &w.user,
-            &w.roots,
-            &w.clock,
-        )
-        .unwrap();
+        let mut client =
+            MdsClient::bind(&w.net, w.server.addr(), &w.user, &w.roots, &w.clock).unwrap();
         assert_eq!(
             client.server_identity().peer,
             Dn::user("Grid", "Hosts", "mds.grid")
         );
-        let entries = client
-            .search("/o=Grid", Scope::Sub, "(kw=Memory)")
-            .unwrap();
+        let entries = client.search("/o=Grid", Scope::Sub, "(kw=Memory)").unwrap();
         assert_eq!(entries.len(), 1);
         assert!(entries[0].first("Memory-total").is_some());
         assert_eq!(client.search_count(), 1);
@@ -273,7 +263,9 @@ mod tests {
         let w = world();
         let mut client =
             MdsClient::bind(&w.net, w.server.addr(), &w.user, &w.roots, &w.clock).unwrap();
-        client.search("/o=Grid", Scope::Sub, "(objectclass=*)").unwrap();
+        client
+            .search("/o=Grid", Scope::Sub, "(objectclass=*)")
+            .unwrap();
         // 1 connection; handshake (3) + ack (1) + search req/reply (2).
         assert_eq!(w.net.metrics().counter_value("net.connections"), 1);
         assert!(w.net.metrics().counter_value("net.messages") >= 6);

@@ -57,8 +57,8 @@ impl DirEntry {
 
 /// Whether `dn` is within `base` at the given scope.
 fn in_scope(dn: &Dn, base: &Dn, scope: Scope) -> bool {
-    let is_under = dn.rdns().len() >= base.rdns().len()
-        && dn.rdns()[..base.rdns().len()] == *base.rdns();
+    let is_under =
+        dn.rdns().len() >= base.rdns().len() && dn.rdns()[..base.rdns().len()] == *base.rdns();
     match scope {
         Scope::Base => dn == base,
         Scope::One => dn.is_immediate_child_of(base),
@@ -163,7 +163,8 @@ mod tests {
         assert_eq!(t.search(&dn("/o=Grid"), Scope::One, &everything).len(), 2);
         assert_eq!(t.search(&dn("/o=Grid"), Scope::Sub, &everything).len(), 5);
         assert_eq!(
-            t.search(&dn("/o=Grid/hn=node0"), Scope::Sub, &everything).len(),
+            t.search(&dn("/o=Grid/hn=node0"), Scope::Sub, &everything)
+                .len(),
             2
         );
     }
@@ -184,7 +185,13 @@ mod tests {
             dn("/o=Grid/hn=node0"),
             vec![("load".to_string(), "9.0".to_string())],
         ));
-        assert_eq!(t.get(&dn("/o=Grid/hn=node0")).unwrap().first("load").unwrap(), "9.0");
+        assert_eq!(
+            t.get(&dn("/o=Grid/hn=node0"))
+                .unwrap()
+                .first("load")
+                .unwrap(),
+            "9.0"
+        );
         assert_eq!(t.len(), 5, "replace does not grow the tree");
     }
 

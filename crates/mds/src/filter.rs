@@ -79,12 +79,12 @@ impl Filter {
             Filter::Substring(attr, parts, anchored_start, anchored_end) => get(attr)
                 .iter()
                 .any(|v| substring_match(v, parts, *anchored_start, *anchored_end)),
-            Filter::GreaterEq(attr, want) => {
-                get(attr).iter().any(|v| compare(v, want) >= std::cmp::Ordering::Equal)
-            }
-            Filter::LessEq(attr, want) => {
-                get(attr).iter().any(|v| compare(v, want) <= std::cmp::Ordering::Equal)
-            }
+            Filter::GreaterEq(attr, want) => get(attr)
+                .iter()
+                .any(|v| compare(v, want) >= std::cmp::Ordering::Equal),
+            Filter::LessEq(attr, want) => get(attr)
+                .iter()
+                .any(|v| compare(v, want) <= std::cmp::Ordering::Equal),
         }
     }
 }
@@ -97,7 +97,12 @@ fn compare(a: &str, b: &str) -> std::cmp::Ordering {
     }
 }
 
-fn substring_match(value: &str, parts: &[String], anchored_start: bool, anchored_end: bool) -> bool {
+fn substring_match(
+    value: &str,
+    parts: &[String],
+    anchored_start: bool,
+    anchored_end: bool,
+) -> bool {
     let mut rest = value;
     for (i, part) in parts.iter().enumerate() {
         if part.is_empty() {
@@ -358,7 +363,9 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        for bad in ["", "cn=x", "(cn=x", "(cn)", "((a=b))", "(a=b)x", "(=v)", "(a=(b))"] {
+        for bad in [
+            "", "cn=x", "(cn=x", "(cn)", "((a=b))", "(a=b)x", "(=v)", "(a=(b))",
+        ] {
             assert!(Filter::parse(bad).is_err(), "'{bad}' should fail");
         }
     }

@@ -62,7 +62,9 @@ pub struct Giis {
 
 impl std::fmt::Debug for Giis {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Giis").field("base", &self.base).finish_non_exhaustive()
+        f.debug_struct("Giis")
+            .field("base", &self.base)
+            .finish_non_exhaustive()
     }
 }
 
@@ -73,6 +75,7 @@ impl Giis {
             clock,
             cache_ttl,
             base: Dn::from_rdns(vec![("o".to_string(), "Grid".to_string())])
+                // lint:allow(unwrap) — fixed literal RDN, cannot fail validation
                 .expect("static DN"),
             tree: DirectoryTree::new(),
             members: Mutex::new(Vec::new()),

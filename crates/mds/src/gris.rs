@@ -23,7 +23,9 @@ pub struct Gris {
 
 impl std::fmt::Debug for Gris {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Gris").field("base", &self.base).finish_non_exhaustive()
+        f.debug_struct("Gris")
+            .field("base", &self.base)
+            .finish_non_exhaustive()
     }
 }
 
@@ -34,6 +36,7 @@ impl Gris {
             ("o".to_string(), "Grid".to_string()),
             ("hn".to_string(), info.hostname().to_string()),
         ])
+        // lint:allow(unwrap) — from_rdns validates keys, both are fixed literals here
         .expect("hostname RDN valid");
         Arc::new(Gris {
             info,
@@ -55,7 +58,10 @@ impl Gris {
     /// Refresh the directory subtree from the information service
     /// (cached reads — the GRIS does not bypass the provider TTLs).
     pub fn refresh(&self) {
-        let records = match self.info.answer(&[InfoSelector::All], &QueryOptions::default()) {
+        let records = match self
+            .info
+            .answer(&[InfoSelector::All], &QueryOptions::default())
+        {
             Ok(r) => r,
             Err(_) => return, // a failing provider leaves stale entries
         };

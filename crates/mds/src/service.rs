@@ -50,7 +50,9 @@ pub struct MdsServer {
 
 impl std::fmt::Debug for MdsServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MdsServer").field("addr", &self.addr).finish_non_exhaustive()
+        f.debug_struct("MdsServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
     }
 }
 
@@ -136,11 +138,13 @@ impl MdsServer {
             );
             return;
         }
-        let _ = conn.send(&MdsReply::SearchResult {
-            body: String::new(),
-            count: 0,
-        }
-        .encode()); // bind ack
+        let _ = conn.send(
+            &MdsReply::SearchResult {
+                body: String::new(),
+                count: 0,
+            }
+            .encode(),
+        ); // bind ack
 
         // Search loop.
         while let Ok(bytes) = conn.recv() {

@@ -44,12 +44,10 @@ impl Gauge {
         let mut current = self.0.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(current) + delta).to_bits();
-            match self.0.compare_exchange_weak(
-                current,
-                next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return,
                 Err(seen) => current = seen,
             }

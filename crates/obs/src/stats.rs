@@ -102,9 +102,7 @@ impl Welford {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -127,7 +125,7 @@ impl Summary {
     /// Summarize a set of samples. The input order is irrelevant.
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
         samples.retain(|x| x.is_finite());
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        samples.sort_by(f64::total_cmp);
         let mut welford = Welford::new();
         for &s in &samples {
             welford.record(s);

@@ -295,8 +295,7 @@ mod tests {
         t.recorder("refresh.latency").record(0.25);
         t.event(1.5, "job.state", "job 1: Pending -> Active");
 
-        let attrs: BTreeMap<String, String> =
-            t.snapshot_attrs().into_iter().collect();
+        let attrs: BTreeMap<String, String> = t.snapshot_attrs().into_iter().collect();
         assert_eq!(attrs["requests.info"], "3");
         assert_eq!(attrs["queue.depth"], "2");
         assert_eq!(attrs["dispatch.latency.count"], "1");

@@ -361,8 +361,8 @@ impl Reply {
                 if buf.remaining() < 2 {
                     return Err(err("truncated status"));
                 }
-                let state = JobStateCode::from_u8(buf.get_u8())
-                    .ok_or_else(|| err("bad job state"))?;
+                let state =
+                    JobStateCode::from_u8(buf.get_u8()).ok_or_else(|| err("bad job state"))?;
                 let exit_code = match buf.get_u8() {
                     0 => None,
                     1 => {
@@ -396,8 +396,8 @@ impl Reply {
                 if buf.remaining() < 1 {
                     return Err(err("truncated event"));
                 }
-                let state = JobStateCode::from_u8(buf.get_u8())
-                    .ok_or_else(|| err("bad job state"))?;
+                let state =
+                    JobStateCode::from_u8(buf.get_u8()).ok_or_else(|| err("bad job state"))?;
                 Reply::Event { handle, state }
             }
             4 => {

@@ -75,6 +75,7 @@ impl InfoRecord {
             format!("{}:{}", self.keyword, name)
         };
         self.attributes.push(Attribute::new(&full, value));
+        // lint:allow(unwrap) — last_mut on the element pushed one line up
         self.attributes.last_mut().expect("just pushed")
     }
 

@@ -31,9 +31,7 @@ pub fn render(records: &[InfoRecord]) -> String {
             escape(&rec.keyword),
             escape(&rec.host)
         ));
-        out.push_str(
-            "   <objectclass><oc-value>InfoGramProvider</oc-value></objectclass>\n",
-        );
+        out.push_str("   <objectclass><oc-value>InfoGramProvider</oc-value></objectclass>\n");
         for a in &rec.attributes {
             let name = a.name.replacen(':', "-", 1);
             out.push_str(&format!("   <attr name=\"{}\">", escape(&name)));
@@ -63,7 +61,9 @@ pub fn parse(text: &str) -> Vec<InfoRecord> {
             if let Some(e) = current.take() {
                 records.push(e);
             }
-            let Some(dn_end) = rest.find('"') else { continue };
+            let Some(dn_end) = rest.find('"') else {
+                continue;
+            };
             let dn = unescape(&rest[..dn_end]);
             let mut keyword = String::new();
             let mut host = String::new();
@@ -81,8 +81,12 @@ pub fn parse(text: &str) -> Vec<InfoRecord> {
                 records.push(e);
             }
         } else if let Some(rest) = line.strip_prefix("<attr name=\"") {
-            let Some(rec) = current.as_mut() else { continue };
-            let Some(name_end) = rest.find('"') else { continue };
+            let Some(rec) = current.as_mut() else {
+                continue;
+            };
+            let Some(name_end) = rest.find('"') else {
+                continue;
+            };
             let raw_name = unescape(&rest[..name_end]);
             let keyword = rec.keyword.clone();
             let name = match raw_name.strip_prefix(&format!("{keyword}-")) {

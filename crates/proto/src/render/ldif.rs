@@ -18,7 +18,8 @@ fn needs_base64(v: &str) -> bool {
         || v.starts_with(':')
         || v.starts_with('<')
         || v.ends_with(' ')
-        || v.bytes().any(|b| b == b'\n' || b == b'\r' || b == 0 || b > 126)
+        || v.bytes()
+            .any(|b| b == b'\n' || b == b'\r' || b == 0 || b > 126)
 }
 
 fn push_attr(out: &mut String, name: &str, value: &str) {
@@ -195,7 +196,10 @@ mod tests {
         let mut r = InfoRecord::new("K", "h");
         r.push("url", "ldap://host:389/o=Grid");
         let parsed = parse(&render(&[r]));
-        assert_eq!(parsed[0].get("url").unwrap().value, "ldap://host:389/o=Grid");
+        assert_eq!(
+            parsed[0].get("url").unwrap().value,
+            "ldap://host:389/o=Grid"
+        );
     }
 
     #[test]

@@ -105,7 +105,9 @@ pub fn parse(text: &str) -> Vec<InfoRecord> {
                 records.push(rec);
             }
         } else if let Some(rest) = line.strip_prefix("<attribute ") {
-            let Some(rec) = current.as_mut() else { continue };
+            let Some(rec) = current.as_mut() else {
+                continue;
+            };
             let name = attr_of(rest, "name").unwrap_or_default();
             let quality = attr_of(rest, "quality").and_then(|q| q.parse().ok());
             let age_secs = attr_of(rest, "age").and_then(|a| a.parse().ok());

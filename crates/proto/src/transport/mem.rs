@@ -75,10 +75,7 @@ impl MemNetwork {
 impl Transport for Arc<MemNetwork> {
     fn listen(&self, addr: &str) -> Result<Box<dyn Listener>, ProtoError> {
         let addr = if let Some(host) = addr.strip_suffix(":0") {
-            format!(
-                "{host}:{}",
-                self.next_port.fetch_add(1, Ordering::Relaxed)
-            )
+            format!("{host}:{}", self.next_port.fetch_add(1, Ordering::Relaxed))
         } else {
             addr.to_string()
         };

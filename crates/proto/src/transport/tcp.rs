@@ -35,8 +35,7 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn listen(&self, addr: &str) -> Result<Box<dyn Listener>, ProtoError> {
-        let listener =
-            TcpListener::bind(addr).map_err(|e| ProtoError::Io(e.to_string()))?;
+        let listener = TcpListener::bind(addr).map_err(|e| ProtoError::Io(e.to_string()))?;
         Ok(Box::new(TcpListenerWrapper {
             listener,
             metrics: self.metrics.clone(),

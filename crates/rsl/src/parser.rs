@@ -98,14 +98,14 @@ impl Parser {
             }
             Some(Token::LParen) => {
                 let groups = self.parse_groups()?;
-                if groups.len() == 1 {
-                    Ok(groups.into_iter().next().expect("one group"))
-                } else {
+                let mut iter = groups.into_iter();
+                match (iter.next(), iter.next()) {
+                    (Some(only), None) => Ok(only),
                     // Bare relation list: implicit conjunction.
-                    Ok(Spec::Boolean {
+                    (first, second) => Ok(Spec::Boolean {
                         op: BoolOp::And,
-                        specs: groups,
-                    })
+                        specs: first.into_iter().chain(second).chain(iter).collect(),
+                    }),
                 }
             }
             Some(t) => Err(ParseError {
@@ -158,13 +158,13 @@ impl Parser {
             // A nested parenthesized spec: `((a=1)(b=2))`.
             Some(Token::LParen) => {
                 let groups = self.parse_groups()?;
-                if groups.len() == 1 {
-                    Ok(groups.into_iter().next().expect("one group"))
-                } else {
-                    Ok(Spec::Boolean {
+                let mut iter = groups.into_iter();
+                match (iter.next(), iter.next()) {
+                    (Some(only), None) => Ok(only),
+                    (first, second) => Ok(Spec::Boolean {
                         op: BoolOp::And,
-                        specs: groups,
-                    })
+                        specs: first.into_iter().chain(second).chain(iter).collect(),
+                    }),
                 }
             }
             _ => self.parse_relation().map(Spec::Relation),
@@ -189,7 +189,9 @@ impl Parser {
             Some(Token::Ge) => RelOp::Ge,
             other => {
                 return Err(ParseError {
-                    reason: format!("expected relational operator after '{attribute}', found {other:?}"),
+                    reason: format!(
+                        "expected relational operator after '{attribute}', found {other:?}"
+                    ),
                 })
             }
         };
@@ -261,9 +263,12 @@ mod tests {
     fn roundtrip(src: &str) -> Spec {
         let spec = parse(src).unwrap();
         let printed = spec.to_string();
-        let reparsed = parse(&printed)
-            .unwrap_or_else(|e| panic!("reparse of '{printed}' failed: {e}"));
-        assert_eq!(reparsed, spec, "roundtrip mismatch for '{src}' → '{printed}'");
+        let reparsed =
+            parse(&printed).unwrap_or_else(|e| panic!("reparse of '{printed}' failed: {e}"));
+        assert_eq!(
+            reparsed, spec,
+            "roundtrip mismatch for '{src}' → '{printed}'"
+        );
         spec
     }
 
@@ -291,7 +296,10 @@ mod tests {
     fn parse_paper_jar_submission() {
         // From §7: (executable=myJavaApplication.jar)
         let spec = roundtrip("(executable=myJavaApplication.jar)");
-        assert_eq!(spec.get_literal("executable"), Some("myJavaApplication.jar"));
+        assert_eq!(
+            spec.get_literal("executable"),
+            Some("myJavaApplication.jar")
+        );
     }
 
     #[test]
@@ -318,7 +326,10 @@ mod tests {
     fn parse_disjunction() {
         let spec = roundtrip("|(count=1)(count=2)");
         match &spec {
-            Spec::Boolean { op: BoolOp::Or, specs } => assert_eq!(specs.len(), 2),
+            Spec::Boolean {
+                op: BoolOp::Or,
+                specs,
+            } => assert_eq!(specs.len(), 2),
             other => panic!("{other:?}"),
         }
     }
@@ -330,10 +341,7 @@ mod tests {
         // The disjunction is one operand of the And.
         match &spec {
             Spec::Boolean { specs, .. } => {
-                assert!(matches!(
-                    specs[1],
-                    Spec::Boolean { op: BoolOp::Or, .. }
-                ))
+                assert!(matches!(specs[1], Spec::Boolean { op: BoolOp::Or, .. }))
             }
             other => panic!("{other:?}"),
         }

@@ -91,7 +91,10 @@ fn subst_spec(spec: &Spec, scope: &mut HashMap<String, String>) -> Result<Spec, 
                 }
                 out.push(replaced);
             }
-            Ok(Spec::Boolean { op: *op, specs: out })
+            Ok(Spec::Boolean {
+                op: *op,
+                specs: out,
+            })
         }
         Spec::Multi(specs) => {
             // Each multi-request branch gets its own child scope, so
@@ -216,10 +219,9 @@ mod tests {
 
     #[test]
     fn definition_may_reference_earlier_definitions() {
-        let spec = parse(
-            "&(rslsubstitution=(A /a))(rslsubstitution=(B $(A) # /b))(directory=$(B))",
-        )
-        .unwrap();
+        let spec =
+            parse("&(rslsubstitution=(A /a))(rslsubstitution=(B $(A) # /b))(directory=$(B))")
+                .unwrap();
         let out = substitute(&spec, &HashMap::new()).unwrap();
         assert_eq!(out.get_literal("directory"), Some("/a/b"));
     }
@@ -253,8 +255,7 @@ mod tests {
 
     #[test]
     fn multiple_definitions_in_one_relation() {
-        let spec =
-            parse("&(rslsubstitution=(A 1)(B 2))(x=$(A))(y=$(B))").unwrap();
+        let spec = parse("&(rslsubstitution=(A 1)(B 2))(x=$(A))(y=$(B))").unwrap();
         let out = substitute(&spec, &HashMap::new()).unwrap();
         assert_eq!(out.get_literal("x"), Some("1"));
         assert_eq!(out.get_literal("y"), Some("2"));
@@ -262,10 +263,9 @@ mod tests {
 
     #[test]
     fn multi_request_scopes_isolated() {
-        let spec = parse(
-            "+(&(rslsubstitution=(V one))(a=$(V)))(&(rslsubstitution=(V two))(a=$(V)))",
-        )
-        .unwrap();
+        let spec =
+            parse("+(&(rslsubstitution=(V one))(a=$(V)))(&(rslsubstitution=(V two))(a=$(V)))")
+                .unwrap();
         let out = substitute(&spec, &HashMap::new()).unwrap();
         match out {
             Spec::Multi(parts) => {

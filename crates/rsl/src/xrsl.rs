@@ -160,6 +160,37 @@ pub struct XrslRequest {
     pub timeout_action: TimeoutAction,
 }
 
+/// Every attribute name [`XrslRequest::from_spec`] understands: the
+/// classic GRAM job attributes, the §6.6 extension tags, and
+/// `rslsubstitution` (consumed by [`crate::subst`] before extraction, but
+/// legal to leave in place).
+pub const KNOWN_TAGS: &[&str] = &[
+    // classic GRAM job attributes
+    "executable",
+    "arguments",
+    "environment",
+    "directory",
+    "count",
+    "maxtime",
+    "stdout",
+    "stderr",
+    "jobtype",
+    "queue",
+    "requirements",
+    "restartonfail",
+    // variable definitions (crate::subst)
+    "rslsubstitution",
+    // §6.6 InfoGram extension tags
+    "info",
+    "response",
+    "quality",
+    "performance",
+    "format",
+    "filter",
+    "timeout",
+    "action",
+];
+
 /// An xRSL-level validation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum XrslError {
@@ -174,6 +205,13 @@ pub enum XrslError {
         /// Expectation.
         expected: String,
     },
+    /// A tag name outside the xRSL vocabulary ([`KNOWN_TAGS`]) — most
+    /// likely a typo; attribute matching is already case-insensitive, so
+    /// `(Info=…)` is fine but `(inof=…)` is not.
+    UnknownTag {
+        /// The unrecognized attribute name (lowercased by the parser).
+        tag: String,
+    },
     /// A required structural property failed.
     Structure(String),
 }
@@ -187,6 +225,11 @@ impl fmt::Display for XrslError {
                 value,
                 expected,
             } => write!(f, "bad ({tag}={value}): expected {expected}"),
+            XrslError::UnknownTag { tag } => write!(
+                f,
+                "unknown xRSL tag ({tag}=…); known tags: {}",
+                KNOWN_TAGS.join(", ")
+            ),
             XrslError::Structure(s) => write!(f, "xRSL structure error: {s}"),
         }
     }
@@ -270,10 +313,28 @@ impl XrslRequest {
             ));
         }
 
+        // Reject tags outside the vocabulary up front: a typoed tag that
+        // was silently ignored would change request semantics (the paper's
+        // `(respones=last)` would quietly become `cached`).
+        for rel in spec.relations() {
+            if !KNOWN_TAGS.contains(&rel.attribute.as_str()) {
+                return Err(XrslError::UnknownTag {
+                    tag: rel.attribute.clone(),
+                });
+            }
+        }
+
         // ---- info selectors ----
         let mut info = Vec::new();
         for rel in spec.get_all("info") {
-            for v in flat_strings(&rel.values) {
+            let values = flat_strings(&rel.values);
+            if values.is_empty() {
+                return Err(bad("info", "", "all, schema, or a keyword"));
+            }
+            for v in values {
+                if v.is_empty() {
+                    return Err(bad("info", &v, "all, schema, or a keyword"));
+                }
                 match v.to_ascii_lowercase().as_str() {
                     "all" => info.push(InfoSelector::All),
                     "schema" => info.push(InfoSelector::Schema),
@@ -318,9 +379,7 @@ impl XrslRequest {
                     Some("fork") => Some(JobType::Fork),
                     Some("batch") => Some(JobType::Batch),
                     Some("jarlet") | Some("jar") => Some(JobType::Jarlet),
-                    Some(other) => {
-                        return Err(bad("jobtype", other, "fork, batch, or jarlet"))
-                    }
+                    Some(other) => return Err(bad("jobtype", other, "fork, batch, or jarlet")),
                     None => None,
                 };
                 let job_type = explicit_type.unwrap_or({
@@ -349,7 +408,7 @@ impl XrslRequest {
                     queue: spec.get_literal("queue").map(str::to_string),
                     requirements,
                     restart_on_fail,
-                    timeout: None,         // patched below, after tag parsing
+                    timeout: None, // patched below, after tag parsing
                     timeout_action: TimeoutAction::default(),
                 })
             }
@@ -391,10 +450,11 @@ impl XrslRequest {
             None => false,
         };
         let timeout = match spec.get_literal("timeout") {
-            Some(t) => Some(Duration::from_millis(
-                t.parse::<u64>()
-                    .map_err(|_| bad("timeout", t, "milliseconds as an integer"))?,
-            )),
+            Some(t) => {
+                Some(Duration::from_millis(t.parse::<u64>().map_err(|_| {
+                    bad("timeout", t, "milliseconds as an integer")
+                })?))
+            }
             None => None,
         };
         let timeout_action = match spec.get_literal("action") {
@@ -439,10 +499,8 @@ mod tests {
 
     #[test]
     fn classic_job_request() {
-        let r = XrslRequest::from_text(
-            "&(executable=/bin/date)(arguments=-u)(count=3)(maxtime=5)",
-        )
-        .unwrap();
+        let r = XrslRequest::from_text("&(executable=/bin/date)(arguments=-u)(count=3)(maxtime=5)")
+            .unwrap();
         assert_eq!(r.kind(), RequestKind::Job);
         let job = r.job.unwrap();
         assert_eq!(job.executable, "/bin/date");
@@ -520,9 +578,11 @@ mod tests {
 
     #[test]
     fn performance_flag() {
-        assert!(XrslRequest::from_text("(info=cpu)(performance=true)")
-            .unwrap()
-            .performance);
+        assert!(
+            XrslRequest::from_text("(info=cpu)(performance=true)")
+                .unwrap()
+                .performance
+        );
         assert!(!XrslRequest::from_text("(info=cpu)").unwrap().performance);
         assert!(XrslRequest::from_text("(info=cpu)(performance=maybe)").is_err());
     }
@@ -530,12 +590,11 @@ mod tests {
     #[test]
     fn paper_timeout_action_example() {
         // §6.6: (executable=command)(timeout=1000)(action=cancel)
-        let r = XrslRequest::from_text("(executable=command)(timeout=1000)(action=cancel)")
-            .unwrap();
+        let r =
+            XrslRequest::from_text("(executable=command)(timeout=1000)(action=cancel)").unwrap();
         assert_eq!(r.timeout, Some(Duration::from_millis(1000)));
         assert_eq!(r.timeout_action, TimeoutAction::Cancel);
-        let r = XrslRequest::from_text("(executable=c)(timeout=500)(action=exception)")
-            .unwrap();
+        let r = XrslRequest::from_text("(executable=c)(timeout=500)(action=exception)").unwrap();
         assert_eq!(r.timeout_action, TimeoutAction::Exception);
     }
 
@@ -555,10 +614,8 @@ mod tests {
 
     #[test]
     fn environment_pairs() {
-        let r = XrslRequest::from_text(
-            "&(executable=x)(environment=(HOME /home/g)(LANG C))",
-        )
-        .unwrap();
+        let r =
+            XrslRequest::from_text("&(executable=x)(environment=(HOME /home/g)(LANG C))").unwrap();
         assert_eq!(
             r.job.unwrap().environment,
             vec![
@@ -594,8 +651,7 @@ mod tests {
 
     #[test]
     fn multi_request_expansion() {
-        let rs =
-            XrslRequest::parse_all("+(&(executable=a))(&(info=cpu))").unwrap();
+        let rs = XrslRequest::parse_all("+(&(executable=a))(&(info=cpu))").unwrap();
         assert_eq!(rs.len(), 2);
         assert_eq!(rs[0].kind(), RequestKind::Job);
         assert_eq!(rs[1].kind(), RequestKind::Info);
@@ -624,5 +680,107 @@ mod tests {
     fn filter_tag() {
         let r = XrslRequest::from_text("(info=memory)(filter=Memory:free)").unwrap();
         assert_eq!(r.filter.as_deref(), Some("Memory:free"));
+    }
+
+    // ---- error paths: every malformed request must yield a structured
+    // XrslError, never a panic ----
+
+    #[test]
+    fn unknown_tag_rejected_with_name() {
+        let err = XrslRequest::from_text("(inof=cpu)").unwrap_err();
+        match err {
+            XrslError::UnknownTag { ref tag } => assert_eq!(tag, "inof"),
+            other => panic!("expected UnknownTag, got {other:?}"),
+        }
+        // The message names the offender and the vocabulary.
+        let msg = err.to_string();
+        assert!(msg.contains("inof"), "{msg}");
+        assert!(msg.contains("info"), "{msg}");
+    }
+
+    #[test]
+    fn typoed_response_tag_is_not_silently_defaulted() {
+        // Before strict validation `(respones=last)` parsed fine and the
+        // request quietly ran with the `cached` default.
+        assert!(matches!(
+            XrslRequest::from_text("(info=cpu)(respones=last)"),
+            Err(XrslError::UnknownTag { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_is_case_insensitive_like_known_ones() {
+        assert!(XrslRequest::from_text("(Info=cpu)").is_ok());
+        assert!(matches!(
+            XrslRequest::from_text("(Inof=cpu)"),
+            Err(XrslError::UnknownTag { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_info_values() {
+        // `(info=)` does not even tokenize as a relation.
+        assert!(XrslRequest::from_text("(info=)").is_err());
+        // An empty quoted selector parses but is meaningless.
+        assert!(matches!(
+            XrslRequest::from_text("(info=\"\")"),
+            Err(XrslError::BadTag { ref tag, .. }) if tag == "info"
+        ));
+    }
+
+    #[test]
+    fn bad_timeout_values() {
+        for src in [
+            "(info=cpu)(timeout=soon)",
+            "(info=cpu)(timeout=1.5)",
+            "(info=cpu)(timeout=-100)",
+        ] {
+            assert!(
+                matches!(
+                    XrslRequest::from_text(src),
+                    Err(XrslError::BadTag { ref tag, .. }) if tag == "timeout"
+                ),
+                "{src} should be a structured timeout error"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_format_and_action_values() {
+        assert!(matches!(
+            XrslRequest::from_text("(info=cpu)(format=pdf)"),
+            Err(XrslError::BadTag { ref tag, .. }) if tag == "format"
+        ));
+        assert!(matches!(
+            XrslRequest::from_text("(executable=c)(timeout=5)(action=retry)"),
+            Err(XrslError::BadTag { ref tag, .. }) if tag == "action"
+        ));
+    }
+
+    #[test]
+    fn error_display_is_actionable() {
+        let e = XrslRequest::from_text("(info=cpu)(format=pdf)").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("format") && msg.contains("pdf"), "{msg}");
+        assert!(msg.contains("ldif"), "expected alternatives listed: {msg}");
+    }
+
+    #[test]
+    fn multi_request_branch_errors_propagate() {
+        // The second branch carries the unknown tag; parse_all must
+        // surface it rather than return a partial expansion.
+        assert!(matches!(
+            XrslRequest::parse_all("+(&(executable=a))(&(inof=cpu))"),
+            Err(XrslError::UnknownTag { .. })
+        ));
+    }
+
+    #[test]
+    fn rslsubstitution_is_legal_before_substitution() {
+        // subst::expand consumes it, but from_spec on the raw spec must
+        // not reject the definition tag.
+        let r = XrslRequest::from_text("&(rslsubstitution=(HOME /home/g))(executable=/bin/true)")
+            .unwrap();
+        assert_eq!(r.kind(), RequestKind::Job);
     }
 }

@@ -183,7 +183,19 @@ impl Clock for ManualClock {
 
     fn sleep(&self, d: Duration) {
         let deadline = self.now().plus(d);
+        // Under the model checker, sleeping on the execution's clock
+        // parks at the scheduler, which advances virtual time to the
+        // earliest deadline once every live thread is blocked.
+        #[cfg(feature = "model")]
+        if crate::model::manual_clock_sleep(self, deadline) {
+            return;
+        }
         while self.now() < deadline {
+            // A schedule point per poll so a sleep on a clock nobody
+            // advances surfaces as a step-budget violation instead of
+            // hanging an exploration. No-op outside the model.
+            #[cfg(feature = "model")]
+            crate::model::yield_point();
             std::thread::yield_now();
         }
     }

@@ -25,16 +25,23 @@
 //! * [`par`] — the scoped, order-preserving scatter-gather fan-out used
 //!   by `(info=all)` answering, aggregate member queries, and GIIS
 //!   member pulls.
+//! * `model` (behind the `model` feature) — a CHESS/Loom-style schedule
+//!   explorer that drives small multi-threaded scenarios through every
+//!   bounded interleaving of their synchronization points, on the
+//!   virtual clock. Used by the model test suites and
+//!   `scripts/check_model.sh`.
 
 pub mod clock;
 pub mod metrics;
+#[cfg(feature = "model")]
+pub mod model;
 pub mod net;
 pub mod par;
 pub mod rng;
 pub mod workload;
 
 pub use clock::{Clock, ManualClock, SharedClock, SimTime, SystemClock};
-pub use par::{fan_out, fan_out_bounded};
 pub use infogram_obs::stats;
+pub use par::{fan_out, fan_out_bounded};
 pub use rng::SplitMix64;
 pub use stats::{Summary, Welford};

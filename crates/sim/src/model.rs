@@ -1,0 +1,1240 @@
+//! A mini CHESS/Loom-style schedule explorer for the concurrency core.
+//!
+//! Feature-gated (`--features model`), this module turns a small
+//! multi-threaded *scenario* — a closure that spawns 2–4 logical threads
+//! via [`spawn`] / [`fan_out`](crate::fan_out) and exercises shared
+//! state — into a systematically explored state space: every
+//! synchronization operation performed through the workspace's
+//! `parking_lot` shim (lock, unlock, read, write, condvar wait/notify)
+//! becomes a *schedule point*, and [`explore`] re-runs the scenario
+//! under depth-first enumeration of the scheduler's choices at those
+//! points until the space is exhausted, a bound is hit, or an execution
+//! fails (panics, asserts, or deadlocks).
+//!
+//! # How it works
+//!
+//! One logical thread runs at a time, cooperative-scheduler style: a
+//! process-wide token (`Exec::current`) names the only thread allowed to
+//! make progress, and every schedule point hands the token back to
+//! [`pick_next`], which either replays a recorded choice (to reach the
+//! previously unexplored branch) or records a new [`Choice`] with the
+//! set of runnable alternatives. Backtracking flips the deepest choice
+//! with remaining alternatives and replays the prefix — same prefix,
+//! same runnable sets, so replay is exact.
+//!
+//! Time is virtual: each execution gets a fresh [`ManualClock`]
+//! (obtainable inside the scenario via [`virtual_clock`]), and when
+//! every live thread is blocked on [`Clock::sleep`](crate::Clock::sleep)
+//! the explorer advances the clock to the earliest deadline —
+//! discrete-event style, so timeout logic explores deterministically
+//! with no real waiting.
+//!
+//! # Bounds and pruning
+//!
+//! * **Preemption bounding** (CHESS): switching away from a thread that
+//!   could have continued costs one preemption; schedules are explored
+//!   only up to [`Config::preemption_bound`] preemptions. Forced
+//!   switches (the running thread blocked) are free. Most real
+//!   concurrency bugs need ≤ 2 preemptions.
+//! * **Sync-point granularity**: threads are interleaved at
+//!   synchronization operations, not between arbitrary instructions, so
+//!   data races on unsynchronized non-atomic state are out of scope
+//!   (Rust's type system already excludes them in safe code). Releases
+//!   are bookkeeping-only — the releaser keeps running until its next
+//!   schedule point.
+//! * **`notify_one` wakes the longest-waiting thread** rather than
+//!   branching over every waiter (the workspace only uses
+//!   `notify_all`).
+//!
+//! # Failure reporting
+//!
+//! A panic in any scenario thread, a deadlock (every live thread
+//! blocked with no clock sleeper to advance), a replay divergence, or a
+//! step-budget blowout aborts the execution: the scheduler records the
+//! first failure, sets the abort flag, and every parked thread unwinds
+//! via a private [`ModelAbort`] panic payload. [`explore`] returns the
+//! failure plus the exact schedule (the sequence of chosen thread ids)
+//! that produced it.
+
+use crate::clock::{Clock, ManualClock, SimTime};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard, PoisonError};
+
+thread_local! {
+    /// The logical thread id of the current OS thread within the active
+    /// exploration, if any. Doubles as the "tracked" flag for the
+    /// parking_lot hooks.
+    static TID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// `Exec::current` value meaning "no modeled thread holds the token"
+/// (the scheduler is idle while a natively-blocked thread, e.g. a
+/// fan-out caller joining its scope, makes progress outside the model).
+const NATIVE_IDLE: usize = usize::MAX;
+
+/// Exploration bounds.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Stop after this many executions even if branches remain.
+    pub max_executions: usize,
+    /// CHESS-style preemption bound; `usize::MAX` disables pruning.
+    pub preemption_bound: usize,
+    /// Per-execution schedule-point budget; exceeding it is reported as
+    /// a violation (livelock guard).
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_executions: 4000,
+            preemption_bound: 2,
+            max_steps: 20_000,
+        }
+    }
+}
+
+impl Config {
+    /// The default bounds, overridden by environment variables:
+    /// `EXHAUSTIVE=1` lifts the preemption bound and raises the
+    /// execution budget (the `scripts/check_model.sh` knob);
+    /// `MODEL_MAX_EXECUTIONS` / `MODEL_PREEMPTION_BOUND` set the bounds
+    /// directly.
+    pub fn from_env() -> Self {
+        let mut cfg = Config::default();
+        if std::env::var("EXHAUSTIVE")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
+            cfg.max_executions = 200_000;
+            cfg.preemption_bound = usize::MAX;
+        }
+        if let Some(n) = env_usize("MODEL_MAX_EXECUTIONS") {
+            cfg.max_executions = n;
+        }
+        if let Some(n) = env_usize("MODEL_PREEMPTION_BOUND") {
+            cfg.preemption_bound = n;
+        }
+        cfg
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// A schedule that broke an invariant, with the evidence to replay it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// What went wrong (panic message, deadlock report, …).
+    pub message: String,
+    /// The sequence of thread ids chosen at each schedule point.
+    pub schedule: Vec<usize>,
+}
+
+/// What an exploration covered and found.
+#[derive(Debug)]
+pub struct Report {
+    /// Executions (distinct schedules) actually run.
+    pub executions: usize,
+    /// Whether the bounded space was exhausted (no branch left).
+    pub complete: bool,
+    /// The first failing schedule, if any.
+    pub violation: Option<Violation>,
+}
+
+/// One scheduling decision: which runnable thread got the token, and
+/// which others could have (still to be explored).
+struct Choice {
+    chosen: usize,
+    alternatives: Vec<usize>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Block {
+    Mutex(u64),
+    RwRead(u64),
+    RwWrite(u64),
+    Cv(u64),
+    Join(usize),
+    /// Sleeping on the virtual clock until the given absolute nanos.
+    Clock(u64),
+    /// Blocked outside the model (e.g. joining a `std::thread::scope`);
+    /// progresses natively, so never a deadlock participant.
+    Native,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+#[derive(Default)]
+struct RwState {
+    writer: Option<usize>,
+    readers: usize,
+}
+
+/// The state of one execution (one schedule) of the scenario.
+struct Exec {
+    threads: Vec<TState>,
+    current: usize,
+    mutexes: HashMap<u64, usize>,
+    rws: HashMap<u64, RwState>,
+    cv_waiters: HashMap<u64, Vec<usize>>,
+    /// Replay prefix + extension: `schedule[..step]` has been decided.
+    schedule: Vec<Choice>,
+    step: usize,
+    preemptions: usize,
+    preemption_bound: usize,
+    max_steps: usize,
+    abort: bool,
+    failure: Option<String>,
+    clock: Arc<ManualClock>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// The process-wide scheduler slot. `state` is `Some` only while an
+/// execution is in flight; [`RUN_LOCK`] serializes explorations.
+struct Scheduler {
+    state: StdMutex<Option<Exec>>,
+    cv: StdCondvar,
+}
+
+static SCHED: Scheduler = Scheduler {
+    state: StdMutex::new(None),
+    cv: StdCondvar::new(),
+};
+
+static RUN_LOCK: StdMutex<()> = StdMutex::new(());
+
+/// Panic payload used to unwind scenario threads when an execution
+/// aborts. Filtered out of panic reporting and never treated as a
+/// scenario failure itself.
+struct ModelAbort;
+
+type SchedGuard = MutexGuard<'static, Option<Exec>>;
+
+fn sched_lock() -> SchedGuard {
+    SCHED.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn cur_tid() -> Option<usize> {
+    TID.with(|t| t.get())
+}
+
+/// Record the first failure and abort the execution.
+fn fail(ex: &mut Exec, message: String) {
+    if ex.failure.is_none() {
+        ex.failure = Some(message);
+    }
+    ex.abort = true;
+}
+
+/// The scheduler core: called (under the `SCHED` lock) by whichever
+/// thread is giving up the token. Picks the next thread to run,
+/// advancing the virtual clock or parking on a natively-blocked thread
+/// when nobody is runnable, and failing on deadlock.
+fn pick_next(ex: &mut Exec) {
+    if ex.abort {
+        return;
+    }
+    loop {
+        // Wake clock sleepers whose deadline has passed (the clock may
+        // also be advanced explicitly by scenario code).
+        let now = ex.clock.now().as_nanos();
+        for st in ex.threads.iter_mut() {
+            if matches!(st, TState::Blocked(Block::Clock(dl)) if *dl <= now) {
+                *st = TState::Runnable;
+            }
+        }
+        let runnable: Vec<usize> = ex
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| **st == TState::Runnable)
+            .map(|(t, _)| t)
+            .collect();
+        if !runnable.is_empty() {
+            if ex.step >= ex.max_steps {
+                fail(
+                    ex,
+                    format!(
+                        "schedule-point budget exceeded ({} steps): livelock or unbounded loop",
+                        ex.max_steps
+                    ),
+                );
+                return;
+            }
+            let prev = ex.current;
+            let prev_runnable =
+                prev != NATIVE_IDLE && matches!(ex.threads.get(prev), Some(TState::Runnable));
+            let chosen = if ex.step < ex.schedule.len() {
+                // Replay: the prefix must reproduce exactly.
+                let c = ex.schedule[ex.step].chosen;
+                if !runnable.contains(&c) {
+                    fail(
+                        ex,
+                        format!(
+                            "replay divergence at step {}: thread {c} not runnable (runnable: {runnable:?})",
+                            ex.step
+                        ),
+                    );
+                    return;
+                }
+                c
+            } else if prev_runnable {
+                // Voluntary schedule point: continuing is free, anything
+                // else costs a preemption — only offered under budget.
+                let alternatives = if ex.preemptions < ex.preemption_bound {
+                    runnable.iter().copied().filter(|&t| t != prev).collect()
+                } else {
+                    Vec::new()
+                };
+                ex.schedule.push(Choice {
+                    chosen: prev,
+                    alternatives,
+                });
+                prev
+            } else {
+                // Forced switch: any runnable thread, no preemption cost.
+                let c = runnable[0];
+                ex.schedule.push(Choice {
+                    chosen: c,
+                    alternatives: runnable[1..].to_vec(),
+                });
+                c
+            };
+            if prev_runnable && chosen != prev {
+                ex.preemptions += 1;
+            }
+            ex.step += 1;
+            ex.current = chosen;
+            return;
+        }
+        if ex.threads.iter().all(|st| matches!(st, TState::Finished)) {
+            return;
+        }
+        // Nobody runnable: advance virtual time to the earliest sleeper…
+        let next_deadline = ex
+            .threads
+            .iter()
+            .filter_map(|st| match st {
+                TState::Blocked(Block::Clock(dl)) => Some(*dl),
+                _ => None,
+            })
+            .min();
+        if let Some(dl) = next_deadline {
+            ex.clock.set(SimTime::from_nanos(dl));
+            continue;
+        }
+        // …or idle while a natively-blocked thread makes progress…
+        if ex
+            .threads
+            .iter()
+            .any(|st| matches!(st, TState::Blocked(Block::Native)))
+        {
+            ex.current = NATIVE_IDLE;
+            return;
+        }
+        // …or report the deadlock.
+        fail(
+            ex,
+            format!("deadlock: every live thread is blocked: {:?}", ex.threads),
+        );
+        return;
+    }
+}
+
+/// Park until the token is ours (consumes the guard). Panics with
+/// [`ModelAbort`] if the execution aborts while parked.
+fn block_until_mine(mut g: SchedGuard, me: usize) {
+    loop {
+        match g.as_mut() {
+            None => return,
+            Some(ex) => {
+                if ex.abort {
+                    drop(g);
+                    panic::panic_any(ModelAbort);
+                }
+                if ex.current == me && ex.threads[me] == TState::Runnable {
+                    return;
+                }
+            }
+        }
+        g = SCHED.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// A voluntary schedule point: offer the token around, then wait for it
+/// back. No-op outside an exploration.
+pub fn yield_point() {
+    let Some(me) = cur_tid() else { return };
+    let mut g = sched_lock();
+    let Some(ex) = g.as_mut() else { return };
+    if ex.abort {
+        drop(g);
+        panic::panic_any(ModelAbort);
+    }
+    pick_next(ex);
+    SCHED.cv.notify_all();
+    block_until_mine(g, me);
+}
+
+/// Block `me` with the given reason and hand the token on; returns once
+/// `me` is runnable and scheduled again.
+fn block_and_switch(mut g: SchedGuard, me: usize, why: Block) {
+    if let Some(ex) = g.as_mut() {
+        ex.threads[me] = TState::Blocked(why);
+        pick_next(ex);
+    }
+    SCHED.cv.notify_all();
+    block_until_mine(g, me);
+}
+
+// ---------------------------------------------------------------------
+// parking_lot hook implementation
+// ---------------------------------------------------------------------
+
+struct ModelHooks;
+
+impl ModelHooks {
+    /// Blocking model-level acquire: schedule point, then loop
+    /// "take it if free, else block until the holder releases".
+    fn acquire(
+        me: usize,
+        can_take: impl Fn(&mut Exec) -> bool,
+        take: impl Fn(&mut Exec, usize),
+        why: Block,
+    ) {
+        yield_point();
+        loop {
+            let mut g = sched_lock();
+            let Some(ex) = g.as_mut() else { return };
+            if ex.abort {
+                drop(g);
+                panic::panic_any(ModelAbort);
+            }
+            if can_take(ex) {
+                take(ex, me);
+                return;
+            }
+            block_and_switch(g, me, why.clone());
+        }
+    }
+
+    fn release_mutex(id: u64) {
+        let mut g = sched_lock();
+        let Some(ex) = g.as_mut() else { return };
+        ex.mutexes.remove(&id);
+        for st in ex.threads.iter_mut() {
+            if *st == TState::Blocked(Block::Mutex(id)) {
+                *st = TState::Runnable;
+            }
+        }
+        // Non-blocking: the releaser keeps the token until its next
+        // schedule point (safe during Drop and unwinding).
+    }
+}
+
+impl parking_lot::hooks::SyncHooks for ModelHooks {
+    fn tracked(&self) -> bool {
+        cur_tid().is_some()
+    }
+
+    fn mutex_lock(&self, id: u64) {
+        let Some(me) = cur_tid() else { return };
+        ModelHooks::acquire(
+            me,
+            move |ex| !ex.mutexes.contains_key(&id),
+            move |ex, me| {
+                ex.mutexes.insert(id, me);
+            },
+            Block::Mutex(id),
+        );
+    }
+
+    fn mutex_try_lock(&self, id: u64) -> bool {
+        let Some(me) = cur_tid() else { return true };
+        yield_point();
+        let mut g = sched_lock();
+        let Some(ex) = g.as_mut() else { return true };
+        if ex.abort {
+            drop(g);
+            panic::panic_any(ModelAbort);
+        }
+        if let std::collections::hash_map::Entry::Vacant(slot) = ex.mutexes.entry(id) {
+            slot.insert(me);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn mutex_unlock(&self, id: u64) {
+        ModelHooks::release_mutex(id);
+    }
+
+    fn rw_read(&self, id: u64) {
+        let Some(me) = cur_tid() else { return };
+        ModelHooks::acquire(
+            me,
+            move |ex| ex.rws.entry(id).or_default().writer.is_none(),
+            move |ex, _| {
+                ex.rws.entry(id).or_default().readers += 1;
+            },
+            Block::RwRead(id),
+        );
+    }
+
+    fn rw_unread(&self, id: u64) {
+        let mut g = sched_lock();
+        let Some(ex) = g.as_mut() else { return };
+        let st = ex.rws.entry(id).or_default();
+        st.readers = st.readers.saturating_sub(1);
+        if st.readers == 0 {
+            for t in ex.threads.iter_mut() {
+                if *t == TState::Blocked(Block::RwWrite(id)) {
+                    *t = TState::Runnable;
+                }
+            }
+        }
+    }
+
+    fn rw_write(&self, id: u64) {
+        let Some(me) = cur_tid() else { return };
+        ModelHooks::acquire(
+            me,
+            move |ex| {
+                let st = ex.rws.entry(id).or_default();
+                st.writer.is_none() && st.readers == 0
+            },
+            move |ex, me| {
+                ex.rws.entry(id).or_default().writer = Some(me);
+            },
+            Block::RwWrite(id),
+        );
+    }
+
+    fn rw_unwrite(&self, id: u64) {
+        let mut g = sched_lock();
+        let Some(ex) = g.as_mut() else { return };
+        ex.rws.entry(id).or_default().writer = None;
+        for t in ex.threads.iter_mut() {
+            if matches!(
+                t,
+                TState::Blocked(Block::RwRead(i)) | TState::Blocked(Block::RwWrite(i)) if *i == id
+            ) {
+                *t = TState::Runnable;
+            }
+        }
+    }
+
+    fn condvar_wait(&self, cv: u64, mutex: u64) {
+        let Some(me) = cur_tid() else { return };
+        // Release the model mutex (the caller already dropped the real
+        // lock), register as a waiter, and park.
+        {
+            let mut g = sched_lock();
+            let Some(ex) = g.as_mut() else { return };
+            if ex.abort {
+                drop(g);
+                panic::panic_any(ModelAbort);
+            }
+            ex.mutexes.remove(&mutex);
+            for st in ex.threads.iter_mut() {
+                if *st == TState::Blocked(Block::Mutex(mutex)) {
+                    *st = TState::Runnable;
+                }
+            }
+            ex.cv_waiters.entry(cv).or_default().push(me);
+            block_and_switch(g, me, Block::Cv(cv));
+        }
+        // Woken: re-acquire the model mutex before returning (the shim
+        // then retakes the — free — real lock).
+        loop {
+            let mut g = sched_lock();
+            let Some(ex) = g.as_mut() else { return };
+            if ex.abort {
+                drop(g);
+                panic::panic_any(ModelAbort);
+            }
+            if let std::collections::hash_map::Entry::Vacant(slot) = ex.mutexes.entry(mutex) {
+                slot.insert(me);
+                return;
+            }
+            block_and_switch(g, me, Block::Mutex(mutex));
+        }
+    }
+
+    fn condvar_notify(&self, cv: u64, all: bool) {
+        let mut g = sched_lock();
+        let Some(ex) = g.as_mut() else { return };
+        let woken: Vec<usize> = match ex.cv_waiters.get_mut(&cv) {
+            None => Vec::new(),
+            Some(ws) if all => std::mem::take(ws),
+            Some(ws) if ws.is_empty() => Vec::new(),
+            Some(ws) => vec![ws.remove(0)],
+        };
+        for t in woken {
+            ex.threads[t] = TState::Runnable;
+        }
+        // Non-blocking, like the releases.
+    }
+}
+
+static MODEL_HOOKS: ModelHooks = ModelHooks;
+
+// ---------------------------------------------------------------------
+// Scenario-facing API: spawn/join, clock, fan-out integration
+// ---------------------------------------------------------------------
+
+/// Handle to a logical thread started with [`spawn`].
+pub struct JoinHandle {
+    tid: usize,
+}
+
+/// Spawn a logical thread inside the running scenario. Must only be
+/// called from scenario code (panics otherwise).
+pub fn spawn<F>(f: F) -> JoinHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    let Some(me) = cur_tid() else {
+        panic!("model::spawn called outside an exploration");
+    };
+    let tid;
+    {
+        let mut g = sched_lock();
+        let Some(ex) = g.as_mut() else {
+            panic!("model::spawn called outside an exploration");
+        };
+        tid = ex.threads.len();
+        ex.threads.push(TState::Runnable);
+    }
+    let os = std::thread::Builder::new()
+        .name(format!("model-{tid}"))
+        .spawn(move || {
+            TID.with(|t| t.set(Some(tid)));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                block_until_mine(sched_lock(), tid);
+                f();
+            }));
+            finish_thread(tid, result);
+        });
+    match os {
+        Ok(handle) => {
+            let mut g = sched_lock();
+            if let Some(ex) = g.as_mut() {
+                ex.os_handles.push(handle);
+            }
+        }
+        Err(e) => {
+            let mut g = sched_lock();
+            if let Some(ex) = g.as_mut() {
+                ex.threads[tid] = TState::Finished;
+                fail(ex, format!("OS thread spawn failed: {e}"));
+            }
+        }
+    }
+    // Give the child (and everyone else) a chance to run first.
+    yield_point();
+    let _ = me;
+    JoinHandle { tid }
+}
+
+fn finish_thread(tid: usize, result: Result<(), Box<dyn std::any::Any + Send>>) {
+    let mut g = sched_lock();
+    if let Some(ex) = g.as_mut() {
+        if let Err(payload) = result {
+            if !payload.is::<ModelAbort>() {
+                fail(
+                    ex,
+                    format!("thread {tid} panicked: {}", payload_msg(payload.as_ref())),
+                );
+            }
+        }
+        ex.threads[tid] = TState::Finished;
+        for st in ex.threads.iter_mut() {
+            if *st == TState::Blocked(Block::Join(tid)) {
+                *st = TState::Runnable;
+            }
+        }
+        pick_next(ex);
+    }
+    drop(g);
+    SCHED.cv.notify_all();
+}
+
+fn payload_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl JoinHandle {
+    /// Wait for the thread to finish (a schedule point).
+    pub fn join(self) {
+        let Some(me) = cur_tid() else { return };
+        loop {
+            let mut g = sched_lock();
+            let Some(ex) = g.as_mut() else { return };
+            if ex.abort {
+                drop(g);
+                panic::panic_any(ModelAbort);
+            }
+            if ex.threads[self.tid] == TState::Finished {
+                return;
+            }
+            block_and_switch(g, me, Block::Join(self.tid));
+        }
+    }
+}
+
+/// The execution's virtual clock. Scenario code hands this (as a
+/// `SharedClock`) to the components under test; sleeping on it parks at
+/// the scheduler, which auto-advances time discrete-event style.
+/// Returns a fresh clock when no exploration is active.
+pub fn virtual_clock() -> Arc<ManualClock> {
+    let g = sched_lock();
+    match g.as_ref() {
+        Some(ex) => Arc::clone(&ex.clock),
+        None => ManualClock::new(),
+    }
+}
+
+/// Called by `ManualClock::sleep` under the `model` feature: park on
+/// the virtual clock until `deadline`. Returns `false` (caller spins as
+/// usual) when no exploration is active or the clock is not the
+/// execution's clock.
+pub(crate) fn manual_clock_sleep(clock: &ManualClock, deadline: SimTime) -> bool {
+    let Some(me) = cur_tid() else { return false };
+    let g = sched_lock();
+    let Some(ex) = g.as_ref() else { return false };
+    if !std::ptr::eq(clock, Arc::as_ptr(&ex.clock)) {
+        return false;
+    }
+    if ex.clock.now() >= deadline {
+        drop(g);
+        yield_point();
+        return true;
+    }
+    block_and_switch(g, me, Block::Clock(deadline.as_nanos()));
+    true
+}
+
+/// Pre-register `helpers` fan-out worker threads, returning their
+/// logical ids in spawn order (deterministic across replays). Empty
+/// when no exploration is active.
+pub fn scope_begin(helpers: usize) -> Vec<usize> {
+    if cur_tid().is_none() {
+        return Vec::new();
+    }
+    let mut g = sched_lock();
+    let Some(ex) = g.as_mut() else {
+        return Vec::new();
+    };
+    (0..helpers)
+        .map(|_| {
+            ex.threads.push(TState::Runnable);
+            ex.threads.len() - 1
+        })
+        .collect()
+}
+
+/// RAII registration of one scoped fan-out worker: `enter` adopts the
+/// pre-assigned id and waits to be scheduled; dropping (normal return
+/// *or* unwind) marks the thread finished and hands the token on.
+pub struct ScopedWorker {
+    tid: Option<usize>,
+}
+
+impl ScopedWorker {
+    /// Adopt the given logical id on this OS thread (no-op on `None`).
+    pub fn enter(tid: Option<usize>) -> ScopedWorker {
+        if let Some(t) = tid {
+            TID.with(|c| c.set(Some(t)));
+            block_until_mine(sched_lock(), t);
+        }
+        ScopedWorker { tid }
+    }
+}
+
+impl Drop for ScopedWorker {
+    fn drop(&mut self) {
+        let Some(t) = self.tid else { return };
+        TID.with(|c| c.set(None));
+        let mut g = sched_lock();
+        if let Some(ex) = g.as_mut() {
+            ex.threads[t] = TState::Finished;
+            pick_next(ex);
+        }
+        drop(g);
+        SCHED.cv.notify_all();
+    }
+}
+
+/// The fan-out caller is about to block natively (joining its scope):
+/// hand the token on without waiting. Paired with [`caller_reacquire`].
+pub fn caller_release() {
+    let Some(me) = cur_tid() else { return };
+    let mut g = sched_lock();
+    let Some(ex) = g.as_mut() else { return };
+    if ex.abort {
+        drop(g);
+        panic::panic_any(ModelAbort);
+    }
+    ex.threads[me] = TState::Blocked(Block::Native);
+    pick_next(ex);
+    drop(g);
+    SCHED.cv.notify_all();
+}
+
+/// The fan-out caller finished its native wait: rejoin the scheduled
+/// world (waits for the token).
+pub fn caller_reacquire() {
+    let Some(me) = cur_tid() else { return };
+    let mut g = sched_lock();
+    let Some(ex) = g.as_mut() else { return };
+    if ex.abort {
+        drop(g);
+        panic::panic_any(ModelAbort);
+    }
+    ex.threads[me] = TState::Runnable;
+    if ex.current == NATIVE_IDLE {
+        pick_next(ex);
+        SCHED.cv.notify_all();
+    }
+    block_until_mine(g, me);
+}
+
+// ---------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------
+
+fn install_panic_filter() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            // Model-thread panics are expected control flow (aborted
+            // executions, failing schedules re-run thousands of times);
+            // everything else keeps the previous reporting.
+            if info.payload().is::<ModelAbort>() || cur_tid().is_some() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// Run one execution of the scenario under the given replay prefix.
+/// Returns the full recorded schedule and the failure, if any.
+fn run_once(
+    config: &Config,
+    replay: Vec<Choice>,
+    scenario: &dyn Fn(),
+) -> (Vec<Choice>, Option<String>) {
+    {
+        let mut g = sched_lock();
+        *g = Some(Exec {
+            threads: vec![TState::Runnable],
+            current: 0,
+            mutexes: HashMap::new(),
+            rws: HashMap::new(),
+            cv_waiters: HashMap::new(),
+            schedule: replay,
+            step: 0,
+            preemptions: 0,
+            preemption_bound: config.preemption_bound,
+            max_steps: config.max_steps,
+            abort: false,
+            failure: None,
+            clock: ManualClock::new(),
+            os_handles: Vec::new(),
+        });
+    }
+    TID.with(|t| t.set(Some(0)));
+    let result = panic::catch_unwind(AssertUnwindSafe(scenario));
+    let handles;
+    {
+        let mut g = sched_lock();
+        if let Some(ex) = g.as_mut() {
+            if let Err(payload) = result {
+                if !payload.is::<ModelAbort>() {
+                    fail(
+                        ex,
+                        format!("scenario panicked: {}", payload_msg(payload.as_ref())),
+                    );
+                }
+            }
+            let live = ex
+                .threads
+                .iter()
+                .skip(1)
+                .filter(|st| !matches!(st, TState::Finished))
+                .count();
+            if live > 0 && ex.failure.is_none() {
+                fail(
+                    ex,
+                    format!("scenario returned with {live} unjoined live threads"),
+                );
+            }
+            ex.threads[0] = TState::Finished;
+            pick_next(ex);
+            handles = std::mem::take(&mut ex.os_handles);
+        } else {
+            handles = Vec::new();
+        }
+    }
+    SCHED.cv.notify_all();
+    for h in handles {
+        let _ = h.join();
+    }
+    TID.with(|t| t.set(None));
+    let mut g = sched_lock();
+    match g.take() {
+        Some(ex) => (ex.schedule, ex.failure),
+        None => (Vec::new(), Some("execution state vanished".to_string())),
+    }
+}
+
+/// Systematically explore the scenario's schedules under `config`.
+///
+/// The scenario runs as logical thread 0 and may [`spawn`] logical
+/// threads, use [`fan_out`](crate::fan_out), take `parking_lot`
+/// locks, wait on condvars, and sleep on [`virtual_clock`]. It is
+/// re-executed once per schedule, so it must be self-contained: build
+/// fresh state each call.
+pub fn explore<F: Fn()>(config: &Config, scenario: F) -> Report {
+    let _serial = RUN_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    parking_lot::hooks::install(&MODEL_HOOKS);
+    install_panic_filter();
+    let mut report = Report {
+        executions: 0,
+        complete: false,
+        violation: None,
+    };
+    let mut replay: Vec<Choice> = Vec::new();
+    loop {
+        report.executions += 1;
+        let (mut schedule, failure) = run_once(config, replay, &scenario);
+        if let Some(message) = failure {
+            report.violation = Some(Violation {
+                message,
+                schedule: schedule.iter().map(|c| c.chosen).collect(),
+            });
+            return report;
+        }
+        // Backtrack: flip the deepest choice with an unexplored branch.
+        loop {
+            match schedule.last_mut() {
+                None => {
+                    report.complete = true;
+                    return report;
+                }
+                Some(c) if !c.alternatives.is_empty() => {
+                    c.chosen = c.alternatives.remove(0);
+                    break;
+                }
+                Some(_) => {
+                    schedule.pop();
+                }
+            }
+        }
+        if report.executions >= config.max_executions {
+            return report;
+        }
+        replay = schedule;
+    }
+}
+
+/// Explore with [`Config::from_env`] and panic on any violation —
+/// the assertion form used by the model test suites.
+pub fn check<F: Fn()>(name: &str, scenario: F) {
+    let report = explore(&Config::from_env(), scenario);
+    if let Some(v) = &report.violation {
+        panic!(
+            "model check '{name}' failed after {} executions\nschedule: {:?}\n{}",
+            report.executions, v.schedule, v.message
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::{Condvar, Mutex};
+    use std::time::Duration;
+
+    fn small() -> Config {
+        Config {
+            max_executions: 20_000,
+            preemption_bound: usize::MAX,
+            max_steps: 5_000,
+        }
+    }
+
+    #[test]
+    fn finds_lost_update_race() {
+        // Classic read-yield-write: two increments can both read 0.
+        let report = explore(&small(), || {
+            let counter = Arc::new(Mutex::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let counter = Arc::clone(&counter);
+                handles.push(spawn(move || {
+                    let v = *counter.lock();
+                    yield_point();
+                    *counter.lock() = v + 1;
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(*counter.lock(), 2, "lost update");
+        });
+        let v = report.violation.as_ref();
+        assert!(
+            v.is_some_and(|v| v.message.contains("lost update")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn clean_increment_verifies() {
+        let report = explore(&small(), || {
+            let counter = Arc::new(Mutex::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let counter = Arc::clone(&counter);
+                handles.push(spawn(move || {
+                    *counter.lock() += 1;
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(*counter.lock(), 2);
+        });
+        assert!(report.violation.is_none(), "{report:?}");
+        assert!(report.complete, "{report:?}");
+        assert!(report.executions > 1, "must actually branch: {report:?}");
+    }
+
+    #[test]
+    fn detects_ab_ba_deadlock() {
+        let report = explore(&small(), || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t1 = spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            let (a3, b3) = (Arc::clone(&a), Arc::clone(&b));
+            let t2 = spawn(move || {
+                let _gb = b3.lock();
+                let _ga = a3.lock();
+            });
+            t1.join();
+            t2.join();
+        });
+        let v = report.violation.as_ref();
+        assert!(
+            v.is_some_and(|v| v.message.contains("deadlock")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn condvar_handoff_has_no_lost_wakeup() {
+        check("condvar handoff", || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let waiter = spawn(move || {
+                let (lock, cv) = &*p2;
+                let mut ready = lock.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+            });
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+            waiter.join();
+        });
+    }
+
+    #[test]
+    fn missing_notify_is_reported_as_deadlock() {
+        let report = explore(&small(), || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let waiter = spawn(move || {
+                let (lock, cv) = &*p2;
+                let mut ready = lock.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+            });
+            // Sets the flag but forgets to notify.
+            *pair.0.lock() = true;
+            waiter.join();
+        });
+        let v = report.violation.as_ref();
+        assert!(
+            v.is_some_and(|v| v.message.contains("deadlock")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn virtual_clock_auto_advances_sleepers() {
+        check("clock auto-advance", || {
+            let clock = virtual_clock();
+            let flag = Arc::new(Mutex::new(false));
+            let (c2, f2) = (Arc::clone(&clock), Arc::clone(&flag));
+            let sleeper = spawn(move || {
+                use crate::Clock;
+                c2.sleep(Duration::from_secs(1));
+                *f2.lock() = true;
+            });
+            sleeper.join();
+            assert!(*flag.lock());
+            assert!(clock.now() >= SimTime::from_secs(1));
+        });
+    }
+
+    #[test]
+    fn rwlock_writer_excludes_readers() {
+        let report = explore(&small(), || {
+            let shared = Arc::new(parking_lot::RwLock::new((0u32, 0u32)));
+            let s2 = Arc::clone(&shared);
+            let writer = spawn(move || {
+                let mut g = s2.write();
+                g.0 += 1;
+                yield_point();
+                g.1 += 1;
+            });
+            let s3 = Arc::clone(&shared);
+            let reader = spawn(move || {
+                let g = s3.read();
+                assert_eq!(g.0, g.1, "reader saw a torn write");
+            });
+            writer.join();
+            reader.join();
+        });
+        assert!(report.violation.is_none(), "{report:?}");
+    }
+
+    #[test]
+    fn fan_out_preserves_order_under_model() {
+        check("fan-out order", || {
+            let items: Vec<u32> = vec![10, 20, 30];
+            let out = crate::fan_out_bounded(&items, 2, |i, x| (i, *x * 2));
+            assert_eq!(out, vec![(0, 20), (1, 40), (2, 60)]);
+        });
+    }
+
+    #[test]
+    fn fan_out_runs_each_item_once_under_model() {
+        check("fan-out exactly-once", || {
+            let counts = Arc::new(Mutex::new([0u32; 3]));
+            let items = [0usize, 1, 2];
+            let c2 = Arc::clone(&counts);
+            crate::fan_out_bounded(&items, 3, move |_, &i| {
+                c2.lock()[i] += 1;
+            });
+            assert_eq!(*counts.lock(), [1, 1, 1]);
+        });
+    }
+
+    #[test]
+    fn preemption_bound_limits_exploration() {
+        // With a bound of 0 the only schedule is "run to completion in
+        // spawn order" — a single execution, and the lost-update bug
+        // escapes. The bound trades soundness for speed, visibly.
+        let bounded = Config {
+            max_executions: 20_000,
+            preemption_bound: 0,
+            max_steps: 5_000,
+        };
+        let report = explore(&bounded, || {
+            let counter = Arc::new(Mutex::new(0));
+            let c1 = Arc::clone(&counter);
+            let t1 = spawn(move || {
+                let v = *c1.lock();
+                yield_point();
+                *c1.lock() = v + 1;
+            });
+            let c2 = Arc::clone(&counter);
+            let t2 = spawn(move || {
+                let v = *c2.lock();
+                yield_point();
+                *c2.lock() = v + 1;
+            });
+            t1.join();
+            t2.join();
+            assert_eq!(*counter.lock(), 2, "lost update");
+        });
+        assert!(
+            report.violation.is_none(),
+            "bound 0 must miss the race: {report:?}"
+        );
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn violation_schedule_is_replayable() {
+        // The reported schedule, replayed as a prefix, reproduces the
+        // failure in execution #1.
+        let scenario = || {
+            let counter = Arc::new(Mutex::new(0));
+            let c1 = Arc::clone(&counter);
+            let t1 = spawn(move || {
+                let v = *c1.lock();
+                yield_point();
+                *c1.lock() = v + 1;
+            });
+            let c2 = Arc::clone(&counter);
+            let t2 = spawn(move || {
+                let v = *c2.lock();
+                yield_point();
+                *c2.lock() = v + 1;
+            });
+            t1.join();
+            t2.join();
+            assert_eq!(*counter.lock(), 2, "lost update");
+        };
+        let first = explore(&small(), scenario);
+        let schedule = match &first.violation {
+            Some(v) => v.schedule.clone(),
+            None => panic!("expected a violation: {first:?}"),
+        };
+        // Re-run with the failing schedule injected as the replay
+        // prefix via a fresh exploration: seed run_once directly.
+        let replay: Vec<Choice> = schedule
+            .iter()
+            .map(|&chosen| Choice {
+                chosen,
+                alternatives: Vec::new(),
+            })
+            .collect();
+        let _serial = RUN_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let (_, failure) = run_once(&small(), replay, &scenario);
+        assert!(
+            failure.is_some_and(|f| f.contains("lost update")),
+            "replaying the reported schedule must reproduce the failure"
+        );
+    }
+}

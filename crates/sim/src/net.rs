@@ -61,9 +61,9 @@ pub struct Link {
     state: Mutex<LinkState>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct LinkState {
-    rng: Option<SplitMix64>,
+    rng: SplitMix64,
     messages: u64,
     bytes: u64,
     dropped: u64,
@@ -95,8 +95,10 @@ impl Link {
             latency,
             loss_probability,
             state: Mutex::new(LinkState {
-                rng: Some(SplitMix64::new(seed)),
-                ..Default::default()
+                rng: SplitMix64::new(seed),
+                messages: 0,
+                bytes: 0,
+                dropped: 0,
             }),
         }
     }
@@ -105,19 +107,15 @@ impl Link {
     /// verdict and updates the accounting.
     pub fn transmit(&self, bytes: usize) -> Delivery {
         let mut st = self.state.lock();
-        let rng = st.rng.as_mut().expect("rng present");
         let dropped = {
             let p = self.loss_probability;
-            p > 0.0 && rng.chance(p)
+            p > 0.0 && st.rng.chance(p)
         };
         if dropped {
             st.dropped += 1;
             return Delivery::Dropped;
         }
-        let delay = {
-            let rng = st.rng.as_mut().expect("rng present");
-            self.latency.sample(rng)
-        };
+        let delay = self.latency.sample(&mut st.rng);
         st.messages += 1;
         st.bytes += bytes as u64;
         Delivery::After(delay)
@@ -159,10 +157,7 @@ mod tests {
     fn fixed_latency() {
         let link = Link::new(LatencyModel::Fixed(Duration::from_millis(5)), 0.0, 1);
         for _ in 0..10 {
-            assert_eq!(
-                link.transmit(1),
-                Delivery::After(Duration::from_millis(5))
-            );
+            assert_eq!(link.transmit(1), Delivery::After(Duration::from_millis(5)));
         }
     }
 

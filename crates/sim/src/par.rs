@@ -69,6 +69,11 @@ where
     let cursor = AtomicUsize::new(0);
     let run = |_worker: usize| {
         loop {
+            // Under the model checker, claiming an index is a schedule
+            // point, so the explorer can interleave workers between
+            // claims. No-op otherwise.
+            #[cfg(feature = "model")]
+            crate::model::yield_point();
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             if i >= n {
                 break;
@@ -79,15 +84,32 @@ where
         }
     };
     let helpers = max_threads.min(n) - 1;
+    // Pre-assign model thread ids in spawn order so replays are exact.
+    #[cfg(feature = "model")]
+    let model_tids = crate::model::scope_begin(helpers);
     std::thread::scope(|scope| {
         for w in 0..helpers {
             let run = &run;
-            scope.spawn(move || run(w + 1));
+            #[cfg(feature = "model")]
+            let tid = model_tids.get(w).copied();
+            scope.spawn(move || {
+                #[cfg(feature = "model")]
+                let _worker = crate::model::ScopedWorker::enter(tid);
+                run(w + 1)
+            });
         }
         run(0);
+        // The caller is about to block natively in the scope join;
+        // hand the scheduler token on first.
+        #[cfg(feature = "model")]
+        crate::model::caller_release();
     });
+    #[cfg(feature = "model")]
+    crate::model::caller_reacquire();
     slots
         .into_iter()
+        // lint:allow(unwrap) — the cursor hands out each index exactly once,
+        // and the scope join guarantees every claimed index was written
         .map(|slot| slot.into_inner().expect("every index was claimed"))
         .collect()
 }
@@ -140,7 +162,9 @@ mod tests {
         // 8 × 30 ms of blocking work should take ~30 ms, not ~240 ms.
         let items = [30u64; 8];
         let start = Instant::now();
-        fan_out(&items, |_, ms| std::thread::sleep(Duration::from_millis(*ms)));
+        fan_out(&items, |_, ms| {
+            std::thread::sleep(Duration::from_millis(*ms))
+        });
         let elapsed = start.elapsed();
         assert!(
             elapsed < Duration::from_millis(200),

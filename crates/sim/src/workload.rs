@@ -54,9 +54,7 @@ impl ArrivalGen {
     pub fn new(process: ArrivalProcess, seed: u64) -> Self {
         let mut rng = SplitMix64::new(seed);
         let on_left = match &process {
-            ArrivalProcess::Bursty { mean_on, .. } => {
-                rng.exponential(mean_on.as_secs_f64())
-            }
+            ArrivalProcess::Bursty { mean_on, .. } => rng.exponential(mean_on.as_secs_f64()),
             _ => 0.0,
         };
         ArrivalGen {
@@ -187,7 +185,12 @@ mod tests {
 
     #[test]
     fn poisson_rate_approximately_held() {
-        let mut g = ArrivalGen::new(ArrivalProcess::Poisson { rate_per_sec: 100.0 }, 1);
+        let mut g = ArrivalGen::new(
+            ArrivalProcess::Poisson {
+                rate_per_sec: 100.0,
+            },
+            1,
+        );
         let arrivals = g.arrivals_until(Duration::from_secs(50));
         let rate = arrivals.len() as f64 / 50.0;
         assert!((rate - 100.0).abs() < 5.0, "rate {rate}");

@@ -28,11 +28,7 @@ fn main() {
         .submit("(executable=simwork)(arguments=20)", false)
         .expect("submit");
     client
-        .wait_terminal(
-            &handle,
-            Duration::from_millis(5),
-            Duration::from_secs(10),
-        )
+        .wait_terminal(&handle, Duration::from_millis(5), Duration::from_secs(10))
         .expect("job finishes");
 
     // The service describes itself. TTL is zero for this keyword, so the

@@ -11,6 +11,9 @@
 //! cargo run --example sporadic_grid
 //! ```
 
+// Bench/example/test harness: panic-on-failure is the error policy here.
+#![allow(clippy::unwrap_used)]
+
 use infogram::core::mds_bridge;
 use infogram::mds::filter::Filter;
 use infogram::mds::giis::Giis;
@@ -63,7 +66,10 @@ fn main() {
         .unwrap();
 
     // Stage the experiment: specimen data plus three jarlet programs.
-    target.host.fs.write("/data/specimen.dat", "2D field of view");
+    target
+        .host
+        .fs
+        .write("/data/specimen.dat", "2D field of view");
     target.host.fs.write(
         "/home/gregor/scan.jar",
         "read /data/specimen.dat; compute 20; write /tmp/points grid; print scanned 64x64 points",

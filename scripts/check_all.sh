@@ -1,9 +1,16 @@
 #!/bin/sh
 # The full local gate, in dependency order:
 #
-#   1. scripts/check_docs.sh — rustdoc + clippy, warnings as errors
-#   2. cargo test --workspace — every unit, doc, and integration test
-#   3. scripts/bench_smoke.sh — quick E16 run gating on the fan-out
+#   1. cargo fmt --check — formatting drift fails fast
+#   2. infogram-lint — the workspace's own token-oriented lint pass
+#      (clock discipline, unwrap policy, guard-across-call, config
+#      table markers); see crates/lint
+#   3. scripts/check_docs.sh — rustdoc + clippy, warnings as errors
+#   4. cargo test --workspace — every unit, doc, and integration test
+#   5. scripts/check_model.sh — bounded schedule-exploration model
+#      checking of the concurrency core (seconds; EXHAUSTIVE=1 for the
+#      unbounded sweep)
+#   6. scripts/bench_smoke.sh — quick E16 run gating on the fan-out
 #      acceptance criterion (writes BENCH_parallel_fanout.json)
 #
 # Works fully offline; expect a few minutes on a cold target dir.
@@ -12,10 +19,18 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> infogram-lint"
+cargo run -q -p infogram-lint --
+
 sh scripts/check_docs.sh
 
 echo "==> cargo test --workspace"
 cargo test --workspace -q
+
+sh scripts/check_model.sh
 
 sh scripts/bench_smoke.sh
 

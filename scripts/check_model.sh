@@ -1,0 +1,43 @@
+#!/bin/sh
+# Schedule-exploration model checking for the concurrency core.
+#
+# Runs the feature-gated model test suites:
+#
+#   - infogram-sim's sim::model unit tests (the explorer checking
+#     itself: seeded races, deadlocks, condvar handoffs, clock
+#     auto-advance, fan-out under the model, replayability)
+#   - tests/model_concurrency.rs (the InfoGram invariants: coalescing
+#     generation, the seeded stale-waiter regression, throttle delay,
+#     COW registry)
+#
+# plus clippy over the `model` feature configuration, which the default
+# gate never compiles.
+#
+# Bounds: by default explorations use a CHESS-style preemption bound of
+# 2 and a 4000-execution budget per scenario — seconds of wall time.
+#
+#   EXHAUSTIVE=1 scripts/check_model.sh
+#
+# lifts the preemption bound and raises the budget to 200k executions
+# per scenario (still well under a minute on this suite). Fine-grained
+# knobs: MODEL_MAX_EXECUTIONS, MODEL_PREEMPTION_BOUND.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODE=bounded
+if [ "${EXHAUSTIVE:-0}" = "1" ]; then
+    MODE=exhaustive
+fi
+
+echo "==> cargo clippy (--features model) -- -D warnings"
+cargo clippy -p infogram-sim -p infogram --all-targets --features model -- -D warnings
+
+echo "==> model suite: infogram-sim (${MODE})"
+cargo test -p infogram-sim --features model -q
+
+echo "==> model suite: tests/model_concurrency.rs (${MODE})"
+cargo test -p infogram --features model --test model_concurrency -q
+
+echo "==> model checking green (${MODE})"

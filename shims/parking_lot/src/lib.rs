@@ -10,18 +10,164 @@
 //! Everything is implemented over `std::sync`. Poisoning is erased by
 //! propagating the inner guard out of a poisoned lock — matching
 //! `parking_lot`, which has no poisoning at all.
+//!
+//! # The `model` feature
+//!
+//! With `--features model`, every lock/unlock/wait/notify additionally
+//! reports to the `hooks` registry, which a schedule-exploration model
+//! checker (infogram-sim's `sim::model`) populates. When no hooks are
+//! installed — or the calling thread is not tracked by an exploration —
+//! the hook calls are no-ops and the types behave exactly as without the
+//! feature. Each synchronization object gets a lazily assigned process-
+//! unique `u64` id so hooks can key their bookkeeping without caring
+//! about addresses or types.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError};
 
+#[cfg(feature = "model")]
+pub mod hooks {
+    //! Interposition points for a schedule-exploration model checker.
+    //!
+    //! A checker implements [`SyncHooks`] and registers it once with
+    //! [`install`]. Acquire-side hooks (`mutex_lock`, `rw_read`,
+    //! `rw_write`, `condvar_wait`) run *before* the real std operation
+    //! and may block the calling thread at the model level (or panic
+    //! with the checker's abort payload to unwind an execution).
+    //! Release-side hooks (`mutex_unlock`, `rw_unread`, `rw_unwrite`,
+    //! `condvar_notify`) run from guard `Drop` impls and MUST be
+    //! non-blocking and panic-free: they can fire during unwinding.
+
+    use std::sync::OnceLock;
+
+    /// What a model checker observes. All ids come from the per-object
+    /// counters in this crate and are process-unique.
+    pub trait SyncHooks: Send + Sync {
+        /// Is the calling thread part of an active exploration? When
+        /// this returns `false` every other hook is skipped.
+        fn tracked(&self) -> bool;
+        /// A mutex is about to be acquired (blocking).
+        fn mutex_lock(&self, id: u64);
+        /// A mutex acquisition is being attempted; returns whether the
+        /// model grants it.
+        fn mutex_try_lock(&self, id: u64) -> bool;
+        /// A mutex guard was dropped (the real lock is already free).
+        fn mutex_unlock(&self, id: u64);
+        /// A read lock is about to be acquired (blocking).
+        fn rw_read(&self, id: u64);
+        /// A read guard was dropped.
+        fn rw_unread(&self, id: u64);
+        /// A write lock is about to be acquired (blocking).
+        fn rw_write(&self, id: u64);
+        /// A write guard was dropped.
+        fn rw_unwrite(&self, id: u64);
+        /// The calling thread released `mutex` (really) and waits on
+        /// condvar `cv`; on return the model has granted `mutex` back.
+        fn condvar_wait(&self, cv: u64, mutex: u64);
+        /// A condvar was notified (`all` distinguishes notify_all).
+        fn condvar_notify(&self, cv: u64, all: bool);
+    }
+
+    static HOOKS: OnceLock<&'static dyn SyncHooks> = OnceLock::new();
+
+    /// Register the process-wide hooks. First call wins; later calls
+    /// are ignored (the checker serializes explorations itself).
+    pub fn install(h: &'static dyn SyncHooks) {
+        let _ = HOOKS.set(h);
+    }
+
+    fn active() -> Option<&'static dyn SyncHooks> {
+        HOOKS.get().copied().filter(|h| h.tracked())
+    }
+
+    pub(crate) fn is_active() -> bool {
+        active().is_some()
+    }
+
+    pub(crate) fn mutex_lock(id: u64) {
+        if let Some(h) = active() {
+            h.mutex_lock(id);
+        }
+    }
+
+    /// `true` means proceed with the real try_lock (granted, or nobody
+    /// is watching); `false` means the model says the lock is held.
+    pub(crate) fn mutex_try_lock(id: u64) -> bool {
+        match active() {
+            Some(h) => h.mutex_try_lock(id),
+            None => true,
+        }
+    }
+
+    pub(crate) fn mutex_unlock(id: u64) {
+        if let Some(h) = active() {
+            h.mutex_unlock(id);
+        }
+    }
+
+    pub(crate) fn rw_read(id: u64) {
+        if let Some(h) = active() {
+            h.rw_read(id);
+        }
+    }
+
+    pub(crate) fn rw_unread(id: u64) {
+        if let Some(h) = active() {
+            h.rw_unread(id);
+        }
+    }
+
+    pub(crate) fn rw_write(id: u64) {
+        if let Some(h) = active() {
+            h.rw_write(id);
+        }
+    }
+
+    pub(crate) fn rw_unwrite(id: u64) {
+        if let Some(h) = active() {
+            h.rw_unwrite(id);
+        }
+    }
+
+    pub(crate) fn condvar_wait(cv: u64, mutex: u64) {
+        if let Some(h) = active() {
+            h.condvar_wait(cv, mutex);
+        }
+    }
+
+    pub(crate) fn condvar_notify(cv: u64, all: bool) {
+        if let Some(h) = active() {
+            h.condvar_notify(cv, all);
+        }
+    }
+}
+
+/// Lazily assign a process-unique id to a sync object. A field-embedded
+/// `OnceLock<u64>` (const-constructible, so `const fn new` survives)
+/// avoids casting fat pointers for `?Sized` payloads.
+#[cfg(feature = "model")]
+fn obj_id(slot: &std::sync::OnceLock<u64>) -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    *slot.get_or_init(|| NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
 /// A mutual-exclusion lock with the `parking_lot` API: `lock()` returns
 /// the guard directly and a panicking holder does not poison the lock.
 #[derive(Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "model")]
+    model_id: std::sync::OnceLock<u64>,
+    inner: sync::Mutex<T>,
+}
 
 /// RAII guard for [`Mutex::lock`].
 pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "model")]
+    raw: &'a sync::Mutex<T>,
+    #[cfg(feature = "model")]
+    id: u64,
     // `Option` so `Condvar::wait` can temporarily take the std guard out
     // (std's `Condvar::wait` consumes the guard by value).
     inner: Option<sync::MutexGuard<'a, T>>,
@@ -30,23 +176,55 @@ pub struct MutexGuard<'a, T: ?Sized> {
 impl<T> Mutex<T> {
     /// Create a new mutex.
     pub const fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            #[cfg(feature = "model")]
+            model_id: std::sync::OnceLock::new(),
+            inner: sync::Mutex::new(value),
+        }
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
+    #[cfg(feature = "model")]
+    fn id(&self) -> u64 {
+        obj_id(&self.model_id)
+    }
+
     /// Acquire the lock, blocking the current thread until it is free.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        // Under an exploration the hook blocks until the model grants
+        // ownership; the real lock below is then uncontended (the model
+        // only frees a mutex after its real guard has dropped).
+        #[cfg(feature = "model")]
+        hooks::mutex_lock(self.id());
         MutexGuard {
-            inner: Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)),
+            #[cfg(feature = "model")]
+            raw: &self.inner,
+            #[cfg(feature = "model")]
+            id: self.id(),
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
         }
     }
 
     /// Attempt to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+        #[cfg(feature = "model")]
+        if !hooks::mutex_try_lock(self.id()) {
+            return None;
+        }
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard {
+                #[cfg(feature = "model")]
+                raw: &self.inner,
+                #[cfg(feature = "model")]
+                id: self.id(),
+                inner: Some(g),
+            }),
             Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                #[cfg(feature = "model")]
+                raw: &self.inner,
+                #[cfg(feature = "model")]
+                id: self.id(),
                 inner: Some(p.into_inner()),
             }),
             Err(sync::TryLockError::WouldBlock) => None,
@@ -58,18 +236,20 @@ impl<T: ?Sized> Mutex<T> {
     where
         T: Sized,
     {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Mutably borrow the inner value (no locking needed: `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
     }
 }
 
@@ -86,32 +266,77 @@ impl<'a, T: ?Sized> DerefMut for MutexGuard<'a, T> {
     }
 }
 
+#[cfg(feature = "model")]
+impl<'a, T: ?Sized> Drop for MutexGuard<'a, T> {
+    fn drop(&mut self) {
+        // Release the real lock first, then tell the model; the hook is
+        // non-blocking and panic-free, so dropping a guard mid-unwind
+        // (a panicking holder) stays safe.
+        if self.inner.take().is_some() {
+            hooks::mutex_unlock(self.id);
+        }
+    }
+}
+
 /// A reader-writer lock with the `parking_lot` API.
 #[derive(Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "model")]
+    model_id: std::sync::OnceLock<u64>,
+    inner: sync::RwLock<T>,
+}
 
 /// RAII guard for [`RwLock::read`].
-pub struct RwLockReadGuard<'a, T: ?Sized>(sync::RwLockReadGuard<'a, T>);
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "model")]
+    id: u64,
+    inner: Option<sync::RwLockReadGuard<'a, T>>,
+}
 
 /// RAII guard for [`RwLock::write`].
-pub struct RwLockWriteGuard<'a, T: ?Sized>(sync::RwLockWriteGuard<'a, T>);
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "model")]
+    id: u64,
+    inner: Option<sync::RwLockWriteGuard<'a, T>>,
+}
 
 impl<T> RwLock<T> {
     /// Create a new reader-writer lock.
     pub const fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            #[cfg(feature = "model")]
+            model_id: std::sync::OnceLock::new(),
+            inner: sync::RwLock::new(value),
+        }
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
+    #[cfg(feature = "model")]
+    fn id(&self) -> u64 {
+        obj_id(&self.model_id)
+    }
+
     /// Acquire shared read access, blocking until available.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard(self.0.read().unwrap_or_else(PoisonError::into_inner))
+        #[cfg(feature = "model")]
+        hooks::rw_read(self.id());
+        RwLockReadGuard {
+            #[cfg(feature = "model")]
+            id: self.id(),
+            inner: Some(self.inner.read().unwrap_or_else(PoisonError::into_inner)),
+        }
     }
 
     /// Acquire exclusive write access, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard(self.0.write().unwrap_or_else(PoisonError::into_inner))
+        #[cfg(feature = "model")]
+        hooks::rw_write(self.id());
+        RwLockWriteGuard {
+            #[cfg(feature = "model")]
+            id: self.id(),
+            inner: Some(self.inner.write().unwrap_or_else(PoisonError::into_inner)),
+        }
     }
 
     /// Consume the lock, returning the inner value.
@@ -119,67 +344,119 @@ impl<T: ?Sized> RwLock<T> {
     where
         T: Sized,
     {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Mutably borrow the inner value (no locking needed: `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
     }
 }
 
 impl<'a, T: ?Sized> Deref for RwLockReadGuard<'a, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        self.inner.as_ref().expect("guard present")
     }
 }
 
 impl<'a, T: ?Sized> Deref for RwLockWriteGuard<'a, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        self.inner.as_ref().expect("guard present")
     }
 }
 
 impl<'a, T: ?Sized> DerefMut for RwLockWriteGuard<'a, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+#[cfg(feature = "model")]
+impl<'a, T: ?Sized> Drop for RwLockReadGuard<'a, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            hooks::rw_unread(self.id);
+        }
+    }
+}
+
+#[cfg(feature = "model")]
+impl<'a, T: ?Sized> Drop for RwLockWriteGuard<'a, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            hooks::rw_unwrite(self.id);
+        }
     }
 }
 
 /// A condition variable with the `parking_lot` API: `wait` reborrows the
 /// guard instead of consuming it.
 #[derive(Default)]
-pub struct Condvar(sync::Condvar);
+pub struct Condvar {
+    #[cfg(feature = "model")]
+    model_id: std::sync::OnceLock<u64>,
+    inner: sync::Condvar,
+}
 
 impl Condvar {
     /// Create a new condition variable.
     pub const fn new() -> Self {
-        Condvar(sync::Condvar::new())
+        Condvar {
+            #[cfg(feature = "model")]
+            model_id: std::sync::OnceLock::new(),
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    #[cfg(feature = "model")]
+    fn id(&self) -> u64 {
+        obj_id(&self.model_id)
     }
 
     /// Atomically release the mutex and wait for a notification, then
     /// reacquire the mutex before returning.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        #[cfg(feature = "model")]
+        if hooks::is_active() {
+            // Really release the mutex, park at the model level (the
+            // hook returns once a notify woke us AND the model granted
+            // the mutex back), then retake the — now free — real lock.
+            let mutex_id = guard.id;
+            drop(guard.inner.take());
+            hooks::condvar_wait(self.id(), mutex_id);
+            guard.inner = Some(guard.raw.lock().unwrap_or_else(PoisonError::into_inner));
+            return;
+        }
         let inner = guard.inner.take().expect("guard present");
-        guard.inner = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
+        guard.inner = Some(
+            self.inner
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner),
+        );
     }
 
     /// Wake one waiting thread.
     pub fn notify_one(&self) {
-        self.0.notify_one();
+        #[cfg(feature = "model")]
+        hooks::condvar_notify(self.id(), false);
+        self.inner.notify_one();
     }
 
     /// Wake all waiting threads.
     pub fn notify_all(&self) {
-        self.0.notify_all();
+        #[cfg(feature = "model")]
+        hooks::condvar_notify(self.id(), true);
+        self.inner.notify_all();
     }
 }
 
@@ -240,5 +517,17 @@ mod tests {
         .join();
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[cfg(feature = "model")]
+    #[test]
+    fn object_ids_are_unique_and_stable() {
+        let a = Mutex::new(0);
+        let b = Mutex::new(0);
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.id(), a.id());
+        let cv = Condvar::new();
+        let rw = RwLock::new(0);
+        assert_ne!(cv.id(), rw.id());
     }
 }

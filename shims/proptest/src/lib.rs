@@ -494,7 +494,10 @@ pub mod string {
                 }
             }
             if negated {
-                let set: Vec<char> = printable().into_iter().filter(|c| !set.contains(c)).collect();
+                let set: Vec<char> = printable()
+                    .into_iter()
+                    .filter(|c| !set.contains(c))
+                    .collect();
                 if set.is_empty() {
                     self.fail("negated class excludes everything");
                 }
@@ -567,9 +570,7 @@ pub mod string {
                 match &item.node {
                     Node::Lit(c) => out.push(*c),
                     Node::Class(set) => out.push(set[rng.below(set.len())]),
-                    Node::Group(alts) => {
-                        generate_items(&alts[rng.below(alts.len())], rng, out)
-                    }
+                    Node::Group(alts) => generate_items(&alts[rng.below(alts.len())], rng, out),
                 }
             }
         }
@@ -728,9 +729,11 @@ mod tests {
                 Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let strat = (0u64..10).prop_map(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
-            prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
-        });
+        let strat = (0u64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
         let mut rng = rng();
         for _ in 0..200 {
             assert!(depth(&strat.generate(&mut rng)) <= 3);
@@ -739,9 +742,7 @@ mod tests {
 
     #[test]
     fn filter_map_retries_until_accepted() {
-        let strat = (0u64..100).prop_filter_map("even only", |n| {
-            (n % 2 == 0).then_some(n)
-        });
+        let strat = (0u64..100).prop_filter_map("even only", |n| (n % 2 == 0).then_some(n));
         let mut rng = rng();
         for _ in 0..100 {
             assert_eq!(strat.generate(&mut rng) % 2, 0);

@@ -185,6 +185,7 @@ impl Sandbox {
             clock.clone(),
             MetricSet::new(),
         )
+        // lint:allow(unwrap) — quickstart sandbox: fail fast on misconfiguration
         .expect("InfoGram service starts");
 
         // Optional baseline pair (Figure 2): separate GRAM + MDS.
@@ -210,6 +211,7 @@ impl Sandbox {
                 Arc::clone(&authorizer),
                 clock.clone(),
             )
+            // lint:allow(unwrap) — quickstart sandbox: fail fast on misconfiguration
             .expect("baseline GRAM starts");
             let gris = Gris::new(Arc::clone(service.info_service()));
             let mds = MdsServer::start(
@@ -220,6 +222,7 @@ impl Sandbox {
                 roots.clone(),
                 clock.clone(),
             )
+            // lint:allow(unwrap) — quickstart sandbox: fail fast on misconfiguration
             .expect("baseline MDS starts");
             (Some(gram), Some(mds))
         } else {
@@ -260,6 +263,7 @@ impl Sandbox {
             &self.roots,
             self.clock.clone(),
         )
+        // lint:allow(unwrap) — quickstart sandbox: fail fast on misconfiguration
         .expect("client connects")
     }
 
@@ -268,12 +272,14 @@ impl Sandbox {
         let gram = self
             .baseline_gram
             .as_ref()
+            // lint:allow(unwrap) — documented contract: requires with_baseline
             .expect("baseline enabled")
             .addr()
             .to_string();
         let mds = self
             .baseline_mds
             .as_ref()
+            // lint:allow(unwrap) — documented contract: requires with_baseline
             .expect("baseline enabled")
             .addr()
             .to_string();
@@ -285,6 +291,7 @@ impl Sandbox {
             &self.roots,
             self.clock.clone(),
         )
+        // lint:allow(unwrap) — quickstart sandbox: fail fast on misconfiguration
         .expect("dual client connects")
     }
 

@@ -23,10 +23,12 @@ fn baseline_gram_refuses_info_queries() {
     // information and it sends you to the MDS.
     let sandbox = dual_world();
     let mut dual = sandbox.connect_dual_client();
-    match dual.gram().request(&infogram::proto::message::Request::Submit {
-        rsl: "(info=memory)".to_string(),
-        callback: false,
-    }) {
+    match dual
+        .gram()
+        .request(&infogram::proto::message::Request::Submit {
+            rsl: "(info=memory)".to_string(),
+            callback: false,
+        }) {
         Ok(infogram::proto::message::Reply::Error { code, message }) => {
             assert_eq!(code, codes::UNSUPPORTED);
             assert!(message.contains("MDS"));
@@ -135,8 +137,8 @@ fn protocols_are_mutually_unintelligible() {
 
     // An MDS request sent to the InfoGram port fails the handshake (it is
     // not a HELLO).
-    let conn = infogram::proto::transport::Transport::connect(&sandbox.net, sandbox.addr())
-        .unwrap();
+    let conn =
+        infogram::proto::transport::Transport::connect(&sandbox.net, sandbox.addr()).unwrap();
     conn.send(&infogram::mds::protocol::MdsRequest::Unbind.encode())
         .unwrap();
     // The server either answers with an authentication error or drops
@@ -151,15 +153,16 @@ fn protocols_are_mutually_unintelligible() {
     }
 
     // A GRAM ping sent to the MDS port fails its handshake.
-    let conn2 =
-        infogram::proto::transport::Transport::connect(&sandbox.net, &mds_addr).unwrap();
+    let conn2 = infogram::proto::transport::Transport::connect(&sandbox.net, &mds_addr).unwrap();
     conn2
         .send(&infogram::proto::message::Request::Ping.encode())
         .unwrap();
-    if let Ok(bytes) = conn2.recv() { match infogram::mds::protocol::MdsReply::decode(&bytes) {
-        Ok(infogram::mds::protocol::MdsReply::Error { .. }) => {}
-        other => panic!("{other:?}"),
-    } }
+    if let Ok(bytes) = conn2.recv() {
+        match infogram::mds::protocol::MdsReply::decode(&bytes) {
+            Ok(infogram::mds::protocol::MdsReply::Error { .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
     sandbox.shutdown();
 }
 
@@ -184,13 +187,14 @@ fn unmapped_user_rejected_by_both_worlds() {
     let gram_addr = sandbox.baseline_gram.as_ref().unwrap().addr().to_string();
     let mds_addr = sandbox.baseline_mds.as_ref().unwrap().addr().to_string();
     assert!(infogram_client::DualClient::connect(
-            &sandbox.net,
-            &gram_addr,
-            &mds_addr,
-            &impostor,
-            &sandbox.roots,
-            sandbox.clock.clone(),
-        ).is_err());
+        &sandbox.net,
+        &gram_addr,
+        &mds_addr,
+        &impostor,
+        &sandbox.roots,
+        sandbox.clock.clone(),
+    )
+    .is_err());
     assert!(matches!(
         infogram_client::InfoGramClient::connect(
             &sandbox.net,

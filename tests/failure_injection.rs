@@ -152,7 +152,8 @@ fn client_disconnect_leaves_service_healthy() {
     {
         // A client that submits and vanishes without waiting.
         let mut rude = sandbox.connect_client();
-        rude.submit("(executable=simwork)(arguments=50)", true).unwrap();
+        rude.submit("(executable=simwork)(arguments=50)", true)
+            .unwrap();
         // dropped here — connection closes mid-callback-subscription
     }
     // A fresh client finds a fully functional service and the orphaned
@@ -170,7 +171,10 @@ fn client_disconnect_leaves_service_healthy() {
             assert_eq!(view.state, JobStateCode::Done);
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "orphan never finished");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "orphan never finished"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
     sandbox.shutdown();
@@ -186,8 +190,7 @@ fn garbage_frames_answered_or_dropped_without_crash() {
         &[0xffu8; 512][..],
     ] {
         let conn =
-            infogram::proto::transport::Transport::connect(&sandbox.net, sandbox.addr())
-                .unwrap();
+            infogram::proto::transport::Transport::connect(&sandbox.net, sandbox.addr()).unwrap();
         let _ = conn.send(garbage);
         // The server either answers with an authentication error or drops
         // the connection; it must not take the service down.

@@ -106,7 +106,11 @@ fn xrsl_tags_apply_to_metrics_records() {
 
     // (format=xml) renders the same snapshot as XML.
     let xml = client
-        .query(&QueryBuilder::new().keyword("metrics").format(OutputFormat::Xml))
+        .query(
+            &QueryBuilder::new()
+                .keyword("metrics")
+                .format(OutputFormat::Xml),
+        )
         .unwrap();
     assert!(xml.body.starts_with("<infogram>"));
     assert!(xml.body.contains("dispatch.info"));

@@ -28,12 +28,7 @@ fn table1_on_system_clock() -> Arc<InformationService> {
     let clock = SystemClock::shared();
     let host = SimulatedHost::default_on(clock.clone());
     let registry = CommandRegistry::new(host, ChargeMode::None);
-    InformationService::from_config(
-        &ServiceConfig::table1(),
-        registry,
-        clock,
-        MetricSet::new(),
-    )
+    InformationService::from_config(&ServiceConfig::table1(), registry, clock, MetricSet::new())
 }
 
 fn keyword(k: &str) -> InfoSelector {
@@ -42,11 +37,7 @@ fn keyword(k: &str) -> InfoSelector {
 
 /// Record keywords must follow the selector list: explicit keywords in
 /// request order, `All` expanding to the registry order.
-fn assert_selector_order(
-    service: &InformationService,
-    selectors: &[InfoSelector],
-    got: &[String],
-) {
+fn assert_selector_order(service: &InformationService, selectors: &[InfoSelector], got: &[String]) {
     let mut expected = Vec::new();
     for sel in selectors {
         match sel {
@@ -101,8 +92,7 @@ fn mixed_query_storm_keeps_ledger_and_order() {
                         QueryOptions::default()
                     };
                     let records = service.answer(selectors, &opts).unwrap();
-                    let got: Vec<String> =
-                        records.iter().map(|r| r.keyword.clone()).collect();
+                    let got: Vec<String> = records.iter().map(|r| r.keyword.clone()).collect();
                     assert_selector_order(service, selectors, &got);
                 }
             });

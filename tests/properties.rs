@@ -141,18 +141,22 @@ fn arb_event() -> impl Strategy<Value = WalEvent> {
                 account,
             }
         }),
-        (1u64..50, arb_state()).prop_map(|(job_id, state)| WalEvent::StateChanged {
-            job_id,
-            state
-        }),
-        (1u64..50, arb_state(), prop::option::of(-128i32..128), 0.0f64..1000.0).prop_map(
-            |(job_id, state, exit_code, wall_seconds)| WalEvent::Finished {
-                job_id,
-                state,
-                exit_code,
-                wall_seconds: (wall_seconds * 1000.0).round() / 1000.0,
-            }
-        ),
+        (1u64..50, arb_state())
+            .prop_map(|(job_id, state)| WalEvent::StateChanged { job_id, state }),
+        (
+            1u64..50,
+            arb_state(),
+            prop::option::of(-128i32..128),
+            0.0f64..1000.0
+        )
+            .prop_map(
+                |(job_id, state, exit_code, wall_seconds)| WalEvent::Finished {
+                    job_id,
+                    state,
+                    exit_code,
+                    wall_seconds: (wall_seconds * 1000.0).round() / 1000.0,
+                }
+            ),
     ]
 }
 
@@ -252,14 +256,22 @@ fn arb_filter() -> impl Strategy<Value = Filter> {
         // A substring anchored at both ends with one part prints without
         // any '*' and is indistinguishable from Equals; exclude that
         // (semantically identical) corner from the generator.
-        (attr, prop::collection::vec(value, 1..3), any::<bool>(), any::<bool>())
-            .prop_filter_map("fully-anchored single part is Equals", |(a, parts, s, e)| {
-                if s && e && parts.len() == 1 {
-                    None
-                } else {
-                    Some(Filter::Substring(a, parts, s, e))
+        (
+            attr,
+            prop::collection::vec(value, 1..3),
+            any::<bool>(),
+            any::<bool>()
+        )
+            .prop_filter_map(
+                "fully-anchored single part is Equals",
+                |(a, parts, s, e)| {
+                    if s && e && parts.len() == 1 {
+                        None
+                    } else {
+                        Some(Filter::Substring(a, parts, s, e))
+                    }
                 }
-            }),
+            ),
     ];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![

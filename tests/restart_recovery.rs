@@ -7,6 +7,9 @@
 //! jobs were restarted, finished jobs kept their outcomes, and the epoch
 //! advanced.
 
+// Bench/example/test harness: panic-on-failure is the error policy here.
+#![allow(clippy::unwrap_used)]
+
 use infogram::exec::wal::FileWal;
 use infogram::proto::message::JobStateCode;
 use infogram::quickstart::{Sandbox, SandboxConfig};
@@ -65,7 +68,10 @@ fn service_restart_recovers_in_flight_jobs() {
     // The in-flight job was restarted and is running again.
     let long_view = engine.status(long.job_id).expect("long job recovered");
     assert!(
-        matches!(long_view.state, JobStateCode::Active | JobStateCode::Pending),
+        matches!(
+            long_view.state,
+            JobStateCode::Active | JobStateCode::Pending
+        ),
         "restarted job is live again: {long_view:?}"
     );
     assert_eq!(engine.metrics().counter_value("jobs.recovered"), 1);

@@ -57,10 +57,10 @@ fn sporadic_grid_end_to_end() {
         .unwrap();
 
     // ---- stage the experiment pipeline on the chosen node ----
-    target.host.fs.write(
-        "/data/specimen.dat",
-        "simulated 2D field of view",
-    );
+    target
+        .host
+        .fs
+        .write("/data/specimen.dat", "simulated 2D field of view");
     target.host.fs.write(
         "/home/gregor/scan.jar",
         "read /data/specimen.dat; compute 20; write /tmp/points scan-grid; print scanned",

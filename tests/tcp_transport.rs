@@ -11,8 +11,8 @@ use infogram::gsi::{Authorizer, CertificateAuthority, Dn, GridMap};
 use infogram::host::commands::{ChargeMode, CommandRegistry};
 use infogram::host::machine::SimulatedHost;
 use infogram::info::config::ServiceConfig;
-use infogram::proto::transport::tcp::TcpTransport;
 use infogram::proto::message::JobStateCode;
+use infogram::proto::transport::tcp::TcpTransport;
 use infogram::sim::metrics::MetricSet;
 use infogram::sim::{SimTime, SplitMix64, SystemClock};
 use infogram_client::InfoGramClient;

@@ -26,7 +26,11 @@ fn info_query_all_formats_over_the_wire() {
     assert_eq!(ldif.records[0].keyword, "Memory");
 
     let xml = client
-        .query(&QueryBuilder::new().keyword("Memory").format(OutputFormat::Xml))
+        .query(
+            &QueryBuilder::new()
+                .keyword("Memory")
+                .format(OutputFormat::Xml),
+        )
         .unwrap();
     assert!(xml.body.starts_with("<infogram>"));
     // The LDIF and XML views carry the same total (cached value).
@@ -36,7 +40,11 @@ fn info_query_all_formats_over_the_wire() {
     );
 
     let plain = client
-        .query(&QueryBuilder::new().keyword("CPU").format(OutputFormat::Plain))
+        .query(
+            &QueryBuilder::new()
+                .keyword("CPU")
+                .format(OutputFormat::Plain),
+        )
         .unwrap();
     assert!(plain.body.contains("CPU:count: 4"));
 
@@ -85,12 +93,20 @@ fn response_modes_over_the_wire() {
         .unwrap()
         .execution_count();
     client
-        .query(&QueryBuilder::new().keyword("Memory").response(ResponseMode::Last))
+        .query(
+            &QueryBuilder::new()
+                .keyword("Memory")
+                .response(ResponseMode::Last),
+        )
         .unwrap();
     let si = sandbox.service.info_service().lookup("Memory").unwrap();
     assert_eq!(si.execution_count(), execs_before, "last never refreshes");
     client
-        .query(&QueryBuilder::new().keyword("Memory").response(ResponseMode::Immediate))
+        .query(
+            &QueryBuilder::new()
+                .keyword("Memory")
+                .response(ResponseMode::Immediate),
+        )
         .unwrap();
     assert_eq!(
         si.execution_count(),
@@ -358,10 +374,9 @@ fn concurrent_clients_share_the_service() {
         let roots = sandbox.roots.clone();
         let clock = sandbox.clock.clone();
         handles.push(std::thread::spawn(move || {
-            let mut client = infogram_client::InfoGramClient::connect(
-                &net, &addr, &user, &roots, clock,
-            )
-            .unwrap();
+            let mut client =
+                infogram_client::InfoGramClient::connect(&net, &addr, &user, &roots, clock)
+                    .unwrap();
             if i % 2 == 0 {
                 let r = client.info("CPULoad").unwrap();
                 assert_eq!(r.record_count, 1);
