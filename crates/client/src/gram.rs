@@ -39,6 +39,12 @@ pub enum ClientError {
     Protocol(String),
     /// A wait exceeded its deadline.
     Timeout,
+    /// The reply carried only last-known-good (stale) data and the
+    /// caller required fresh data.
+    Degraded {
+        /// True age of the served data in seconds, if reported.
+        stale_age_secs: Option<f64>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -53,6 +59,10 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::Protocol(m) => write!(f, "protocol: {m}"),
             ClientError::Timeout => write!(f, "timed out"),
+            ClientError::Degraded { stale_age_secs } => match stale_age_secs {
+                Some(age) => write!(f, "degraded answer: stale data aged {age:.3}s"),
+                None => write!(f, "degraded answer: stale data of unknown age"),
+            },
         }
     }
 }

@@ -7,12 +7,14 @@
 use crate::gram::{ClientError, GramClient};
 use infogram_gsi::{Certificate, Credential};
 use infogram_proto::handle::JobHandle;
-use infogram_proto::message::{JobStateCode, Reply, Request};
+use infogram_proto::message::{codes, JobStateCode, Reply, Request};
 use infogram_proto::record::InfoRecord;
 use infogram_proto::render::{dsml, ldif, xml};
 use infogram_proto::transport::Transport;
 use infogram_rsl::{OutputFormat, ResponseMode};
 use infogram_sim::clock::SharedClock;
+use infogram_sim::SplitMix64;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Builder for information-query xRSL: the tags of §6.6.
@@ -121,9 +123,109 @@ pub struct QueryResult {
     pub record_count: u32,
 }
 
+impl QueryResult {
+    /// Whether any record is a last-known-good stale serve (the
+    /// provider failed or its breaker is open; see the wire-level
+    /// `infogram-degraded` annotation).
+    pub fn degraded(&self) -> bool {
+        self.records.iter().any(|r| r.degraded)
+    }
+
+    /// The oldest stale age among degraded records, if any reported one.
+    pub fn stale_age_secs(&self) -> Option<f64> {
+        self.records
+            .iter()
+            .filter(|r| r.degraded)
+            .filter_map(|r| r.stale_age_secs)
+            .fold(None, |acc, a| Some(acc.map_or(a, |m: f64| m.max(a))))
+    }
+
+    /// Only the records produced by a live provider run.
+    pub fn fresh_records(&self) -> impl Iterator<Item = &InfoRecord> {
+        self.records.iter().filter(|r| !r.degraded)
+    }
+
+    /// The records, but only if *none* of them are degraded — callers
+    /// that cannot tolerate stale data get [`ClientError::Degraded`]
+    /// instead of silently consuming last-known-good values.
+    pub fn require_fresh(&self) -> Result<&[InfoRecord], ClientError> {
+        if self.degraded() {
+            return Err(ClientError::Degraded {
+                stale_age_secs: self.stale_age_secs(),
+            });
+        }
+        Ok(&self.records)
+    }
+}
+
+/// How the client retries connection-level failures and breaker-open
+/// (`UNAVAILABLE`) rejections.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (first try included).
+    pub max_attempts: u32,
+    /// First backoff delay; doubled per subsequent attempt.
+    pub backoff_base: Duration,
+    /// Hard cap on any single delay, including honored server hints.
+    pub backoff_max: Duration,
+    /// Relative jitter applied to backoff delays, in `[0, 1)`.
+    pub jitter: f64,
+    /// Whether to sleep out the server's `retry-after-ms=` hint and
+    /// retry on a breaker-open rejection (otherwise it surfaces as
+    /// [`ClientError::Server`]).
+    pub honor_retry_after: bool,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            jitter: 0.2,
+            honor_retry_after: true,
+            seed: 0x0072_6574_7279, // "retry"
+        }
+    }
+}
+
+/// Everything needed to re-establish a dropped session.
+struct ReconnectState {
+    transport: Arc<dyn Transport>,
+    addr: String,
+    credential: Credential,
+    trust_roots: Vec<Certificate>,
+    clock: SharedClock,
+    policy: RetryPolicy,
+    rng: SplitMix64,
+    reconnects: u64,
+}
+
+impl ReconnectState {
+    /// Jittered exponential delay before retry number `attempt` (1-based).
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let raw = self
+            .policy
+            .backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(self.policy.backoff_max);
+        let j = self.policy.jitter.clamp(0.0, 0.99);
+        if j == 0.0 {
+            return raw;
+        }
+        let unit = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 - j + 2.0 * j * unit;
+        Duration::from_nanos((raw.as_nanos() as f64 * factor) as u64)
+    }
+}
+
 /// One connection, both behaviours.
 pub struct InfoGramClient {
     gram: GramClient,
+    reconnect: Option<ReconnectState>,
 }
 
 impl std::fmt::Debug for InfoGramClient {
@@ -143,7 +245,99 @@ impl InfoGramClient {
     ) -> Result<InfoGramClient, ClientError> {
         Ok(InfoGramClient {
             gram: GramClient::connect(transport, addr, credential, trust_roots, clock)?,
+            reconnect: None,
         })
+    }
+
+    /// Connect with transparent reconnect-and-retry: connection-level
+    /// failures re-establish the session (handshake included) after a
+    /// capped, jittered exponential backoff, and breaker-open
+    /// rejections honor the server's `retry-after-ms=` hint. The
+    /// transport is owned so the session can be rebuilt at any time.
+    pub fn connect_with_retry(
+        transport: Arc<dyn Transport>,
+        addr: &str,
+        credential: &Credential,
+        trust_roots: &[Certificate],
+        clock: SharedClock,
+        policy: RetryPolicy,
+    ) -> Result<InfoGramClient, ClientError> {
+        let gram = GramClient::connect(&*transport, addr, credential, trust_roots, clock.clone())?;
+        let rng = SplitMix64::new(policy.seed);
+        Ok(InfoGramClient {
+            gram,
+            reconnect: Some(ReconnectState {
+                transport,
+                addr: addr.to_string(),
+                credential: credential.clone(),
+                trust_roots: trust_roots.to_vec(),
+                clock,
+                policy,
+                rng,
+                reconnects: 0,
+            }),
+        })
+    }
+
+    /// How many times the session was transparently re-established.
+    pub fn reconnect_count(&self) -> u64 {
+        self.reconnect.as_ref().map_or(0, |s| s.reconnects)
+    }
+
+    /// Issue one request, transparently reconnecting on transport
+    /// failures and sleeping out breaker-open rejections, per the
+    /// [`RetryPolicy`]. Without a policy this is a plain request.
+    fn request_resilient(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        if self.reconnect.is_none() {
+            return self.gram.request(request);
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            let outcome = self.gram.request(request);
+            // lint:allow(unwrap) — reconnect checked Some on entry and is never cleared
+            let st = self.reconnect.as_mut().expect("reconnect state present");
+            let max = st.policy.max_attempts.max(1);
+            match outcome {
+                Err(ClientError::Transport(_)) if attempt < max => {
+                    let delay = st.backoff(attempt);
+                    st.clock.sleep(delay);
+                    match GramClient::connect(
+                        &*st.transport,
+                        &st.addr,
+                        &st.credential,
+                        &st.trust_roots,
+                        st.clock.clone(),
+                    ) {
+                        Ok(gram) => {
+                            st.reconnects += 1;
+                            self.gram = gram;
+                        }
+                        // Still unreachable: fall through and let the
+                        // next attempt fail fast on the dead session
+                        // until the budget runs out.
+                        Err(ClientError::Transport(_)) => {}
+                        Err(other) => return Err(other),
+                    }
+                }
+                Ok(Reply::Error { code, ref message })
+                    if code == codes::UNAVAILABLE
+                        && st.policy.honor_retry_after
+                        && attempt < max =>
+                {
+                    // A millisecond of margin on top of the hint: the
+                    // wire hint has millisecond resolution, so sleeping
+                    // it exactly can land the retry a hair inside the
+                    // still-closed window.
+                    let hint = parse_retry_after(message)
+                        .map(|h| h + Duration::from_millis(1))
+                        .unwrap_or_else(|| st.backoff(attempt))
+                        .min(st.policy.backoff_max);
+                    st.clock.sleep(hint);
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Submit a job.
@@ -184,10 +378,12 @@ impl InfoGramClient {
         self.gram.wait_event()
     }
 
-    /// Issue a raw xRSL information query.
+    /// Issue a raw xRSL information query. Queries are idempotent, so a
+    /// retry policy (see [`InfoGramClient::connect_with_retry`]) applies
+    /// here — unlike job submission, which is never replayed.
     pub fn query_rsl(&mut self, rsl: &str) -> Result<QueryResult, ClientError> {
         let format = detect_format(rsl);
-        match self.gram.request(&Request::Submit {
+        match self.request_resilient(&Request::Submit {
             rsl: rsl.to_string(),
             callback: false,
         })? {
@@ -234,6 +430,14 @@ impl InfoGramClient {
     pub fn gram(&mut self) -> &mut GramClient {
         &mut self.gram
     }
+}
+
+/// Extract the machine-readable `retry-after-ms=<n>` hint a breaker-open
+/// rejection carries in its message.
+fn parse_retry_after(message: &str) -> Option<Duration> {
+    let rest = message.split("retry-after-ms=").nth(1)?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse::<u64>().ok().map(Duration::from_millis)
 }
 
 /// The client knows which format it asked for; mirror the service-side
@@ -288,5 +492,101 @@ mod tests {
         assert_eq!(detect_format("(info=x)(format=xml)"), OutputFormat::Xml);
         assert_eq!(detect_format("(info=x)(format=plain)"), OutputFormat::Plain);
         assert_eq!(detect_format("(info=x)(format=dsml)"), OutputFormat::Dsml);
+    }
+
+    #[test]
+    fn retry_after_hint_parses() {
+        assert_eq!(
+            parse_retry_after("provider unavailable (breaker open); retry-after-ms=500"),
+            Some(Duration::from_millis(500))
+        );
+        assert_eq!(
+            parse_retry_after("retry-after-ms=42 trailing words"),
+            Some(Duration::from_millis(42))
+        );
+        assert_eq!(parse_retry_after("no hint here"), None);
+        assert_eq!(parse_retry_after("retry-after-ms=junk"), None);
+    }
+
+    #[test]
+    fn backoff_is_capped_and_deterministic() {
+        let mk = || ReconnectState {
+            transport: Arc::new(infogram_proto::transport::mem::MemNetwork::ideal()),
+            addr: "h:1".into(),
+            credential: test_credential(),
+            trust_roots: Vec::new(),
+            clock: infogram_sim::ManualClock::new(),
+            policy: RetryPolicy {
+                jitter: 0.0,
+                ..RetryPolicy::default()
+            },
+            rng: SplitMix64::new(1),
+            reconnects: 0,
+        };
+        let mut st = mk();
+        assert_eq!(st.backoff(1), Duration::from_millis(50));
+        assert_eq!(st.backoff(2), Duration::from_millis(100));
+        assert_eq!(st.backoff(20), Duration::from_secs(2), "capped");
+        // With jitter, the stream is seed-deterministic.
+        let mut a = mk();
+        let mut b = mk();
+        a.policy.jitter = 0.2;
+        b.policy.jitter = 0.2;
+        for attempt in 1..6 {
+            let d = a.backoff(attempt);
+            assert_eq!(d, b.backoff(attempt));
+            let raw = Duration::from_millis(50) * (1 << (attempt - 1));
+            assert!(d >= raw.mul_f64(0.8) && d <= raw.mul_f64(1.2));
+        }
+    }
+
+    #[test]
+    fn degraded_accessors_distinguish_fresh_from_stale() {
+        let mut fresh = InfoRecord::new("CPU", "n");
+        fresh.push("count", "4");
+        let mut stale = InfoRecord::new("Memory", "n");
+        stale.push("total", "4096");
+        stale.degraded = true;
+        stale.stale_age_secs = Some(17.5);
+        let result = QueryResult {
+            body: String::new(),
+            records: vec![fresh, stale],
+            record_count: 2,
+        };
+        assert!(result.degraded());
+        assert_eq!(result.stale_age_secs(), Some(17.5));
+        assert_eq!(result.fresh_records().count(), 1);
+        match result.require_fresh() {
+            Err(ClientError::Degraded { stale_age_secs }) => {
+                assert_eq!(stale_age_secs, Some(17.5));
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        let all_fresh = QueryResult {
+            body: String::new(),
+            records: vec![InfoRecord::new("CPU", "n")],
+            record_count: 1,
+        };
+        assert!(!all_fresh.degraded());
+        assert_eq!(all_fresh.require_fresh().unwrap().len(), 1);
+    }
+
+    fn test_credential() -> Credential {
+        use infogram_gsi::{CertificateAuthority, Dn};
+        use infogram_sim::SimTime;
+        let mut rng = SplitMix64::new(7);
+        let hour = Duration::from_secs(3600);
+        let ca = CertificateAuthority::new_root(
+            &Dn::parse("/o=Grid/cn=TestCA").unwrap(),
+            &mut rng,
+            SimTime::ZERO,
+            hour,
+        );
+        ca.issue(
+            &Dn::parse("/o=Grid/cn=user").unwrap(),
+            &mut rng,
+            SimTime::ZERO,
+            hour,
+        )
     }
 }

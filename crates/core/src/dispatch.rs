@@ -86,6 +86,9 @@ impl InfoGramDispatcher {
             quality_threshold: req.quality,
             filter: req.filter.clone(),
             performance: req.performance,
+            // `(timeout=...)` bounds the provider deadline budget; absent,
+            // each keyword's TTL-proportional default applies.
+            deadline: req.timeout,
         };
         match self.info.answer(&req.info, &opts) {
             Ok(records) => Reply::InfoResult {
@@ -99,6 +102,13 @@ impl InfoGramDispatcher {
             Err(InfoServiceError::Query(QueryError::NeverProduced)) => Reply::Error {
                 code: codes::NO_SUCH_KEYWORD,
                 message: "(response=last) before any value was produced".to_string(),
+            },
+            // Breaker open with nothing cached: a distinct, retryable
+            // rejection whose message carries the `retry-after-ms=` hint
+            // (the QueryError Display emits it).
+            Err(InfoServiceError::Query(e @ QueryError::Unavailable { .. })) => Reply::Error {
+                code: codes::UNAVAILABLE,
+                message: e.to_string(),
             },
             Err(InfoServiceError::Query(e)) => Reply::Error {
                 code: codes::INTERNAL,

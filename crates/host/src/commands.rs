@@ -12,6 +12,7 @@
 
 use crate::machine::SimulatedHost;
 use crate::procfs;
+use infogram_sim::fault::{FaultPlan, Injection};
 use infogram_sim::{ManualClock, SplitMix64};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -108,6 +109,7 @@ pub struct CommandRegistry {
     specs: RwLock<HashMap<String, CommandSpec>>,
     rng: Mutex<SplitMix64>,
     charge: ChargeMode,
+    faults: RwLock<Option<Arc<FaultPlan>>>,
 }
 
 impl CommandRegistry {
@@ -119,6 +121,7 @@ impl CommandRegistry {
             specs: RwLock::new(HashMap::new()),
             rng: Mutex::new(SplitMix64::new(seed)),
             charge,
+            faults: RwLock::new(None),
         });
         reg.install_builtins();
         reg
@@ -156,6 +159,36 @@ impl CommandRegistry {
         self.specs.read().contains_key(name)
     }
 
+    /// Attach (or replace) the fault plan consulted by [`execute`].
+    ///
+    /// Faults apply to *interactive* executions only; [`plan`] (job
+    /// planning) is unaffected, so the injection surface is exactly the
+    /// information-provider path. Pass-through of the plan's decisions:
+    /// `Fail` charges the normal cost then exits nonzero, `Hang(d)` and
+    /// `SlowBy(d)` charge `d` through the same [`ChargeMode`] as
+    /// execution cost, so deadline budgets observe the stall under both
+    /// clocks.
+    ///
+    /// [`execute`]: CommandRegistry::execute
+    /// [`plan`]: CommandRegistry::plan
+    pub fn set_fault_plan(&self, plan: Arc<FaultPlan>) {
+        *self.faults.write() = Some(plan);
+    }
+
+    /// Remove any attached fault plan.
+    pub fn clear_fault_plan(&self) {
+        *self.faults.write() = None;
+    }
+
+    /// Charge a duration to the world per this registry's charge mode.
+    fn charge(&self, d: Duration) {
+        match &self.charge {
+            ChargeMode::Sleep => self.host.clock().sleep(d),
+            ChargeMode::Advance(manual) => manual.advance(d),
+            ChargeMode::None => {}
+        }
+    }
+
     /// Execute a full command line, e.g. `/sbin/sysinfo.exe -mem`.
     ///
     /// The executable is resolved by its basename, so the machine-specific
@@ -175,17 +208,51 @@ impl CommandRegistry {
             (Arc::clone(&spec.handler), spec.cost.clone())
         };
         let cost = cost_model.sample(&mut self.rng.lock());
-        match &self.charge {
-            ChargeMode::Sleep => self.host.clock().sleep(cost),
-            ChargeMode::Advance(manual) => manual.advance(cost),
-            ChargeMode::None => {}
+        let injection = {
+            let faults = self.faults.read();
+            match faults.as_ref() {
+                Some(plan) => plan.decide(basename, self.host.clock().now()),
+                None => Injection::Healthy,
+            }
+        };
+        match injection {
+            Injection::Healthy => {
+                self.charge(cost);
+                let (stdout, exit_code) = handler(&self.host, &tokens[1..]);
+                Ok(CommandOutput {
+                    stdout,
+                    exit_code,
+                    cost,
+                })
+            }
+            Injection::SlowBy(extra) => {
+                self.charge(cost + extra);
+                let (stdout, exit_code) = handler(&self.host, &tokens[1..]);
+                Ok(CommandOutput {
+                    stdout,
+                    exit_code,
+                    cost: cost + extra,
+                })
+            }
+            Injection::Fail { exit_code, detail } => {
+                self.charge(cost);
+                Ok(CommandOutput {
+                    stdout: format!("fault: {detail}\n"),
+                    exit_code,
+                    cost,
+                })
+            }
+            Injection::Hang(stall) => {
+                // The command stalls for `stall` (charged to the clock so
+                // deadline budgets see it), then is reaped as failed.
+                self.charge(cost + stall);
+                Ok(CommandOutput {
+                    stdout: "fault: hung, reaped by watchdog\n".to_string(),
+                    exit_code: infogram_sim::fault::EXIT_HUNG,
+                    cost: cost + stall,
+                })
+            }
         }
-        let (stdout, exit_code) = handler(&self.host, &tokens[1..]);
-        Ok(CommandOutput {
-            stdout,
-            exit_code,
-            cost,
-        })
     }
 
     /// Plan a command execution without charging its cost: compute the
@@ -568,6 +635,44 @@ mod tests {
             "runtime directive stripped from output"
         );
         assert!(out.stdout.contains("simulated work complete"));
+    }
+
+    #[test]
+    fn fault_plan_shapes_execution() {
+        use infogram_sim::fault::{Fault, FaultPlan, EXIT_HUNG, EXIT_INJECTED};
+        let (clock, reg) = registry();
+        reg.set_cost("cpuload", CostModel::Fixed(Duration::from_millis(10)));
+        let plan = FaultPlan::new();
+        plan.script(
+            "cpuload",
+            vec![
+                Fault::Fail,
+                Fault::Hang(Duration::from_millis(200)),
+                Fault::SlowBy(Duration::from_millis(40)),
+            ],
+        );
+        reg.set_fault_plan(plan);
+
+        let out = reg.execute("cpuload").unwrap();
+        assert_eq!(out.exit_code, EXIT_INJECTED);
+        assert!(out.stdout.contains("injected failure"));
+
+        // The hang charges its stall to the clock before failing.
+        let before = clock.now();
+        let out = reg.execute("cpuload").unwrap();
+        assert_eq!(out.exit_code, EXIT_HUNG);
+        assert_eq!(clock.now().since(before), Duration::from_millis(210));
+
+        // SlowBy succeeds with the extra delay charged.
+        let before = clock.now();
+        let out = reg.execute("cpuload").unwrap();
+        assert_eq!(out.exit_code, 0);
+        assert!(out.stdout.contains("load:"));
+        assert_eq!(clock.now().since(before), Duration::from_millis(50));
+
+        // Script exhausted: healthy again.
+        assert_eq!(reg.execute("cpuload").unwrap().exit_code, 0);
+        reg.clear_fault_plan();
     }
 
     #[test]

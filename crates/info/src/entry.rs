@@ -16,8 +16,9 @@
 
 use crate::provider::{InfoProvider, ProviderError};
 use crate::quality::DegradationFn;
+use crate::supervisor::{Admission, BreakerState, Supervisor, SupervisorConfig};
 use infogram_sim::clock::SharedClock;
-use infogram_sim::metrics::{Counter, MetricSet};
+use infogram_sim::metrics::{Counter, Gauge, MetricSet};
 use infogram_sim::{SimTime, Welford};
 use parking_lot::{Condvar, Mutex};
 use std::sync::{Arc, OnceLock};
@@ -39,6 +40,11 @@ pub struct Snapshot {
     pub produced_at: SimTime,
     /// Whether this call was served from cache (no provider execution).
     pub from_cache: bool,
+    /// Whether this is a last-known-good value served *because the
+    /// provider failed or was breaker-gated* — a degraded answer. The
+    /// age annotation carries the value's true staleness; consumers
+    /// must report degraded quality, not fresh data.
+    pub stale: bool,
 }
 
 /// Why a non-blocking query could not be served.
@@ -55,6 +61,13 @@ pub enum QueryError {
     },
     /// The provider failed during a (blocking) update.
     Provider(ProviderError),
+    /// The fault supervisor is holding the provider closed (breaker
+    /// open, or backoff gate in force) and no stale snapshot could be
+    /// served. `retry_after` is the wire-level retry hint.
+    Unavailable {
+        /// Time until the supervisor will admit another execution.
+        retry_after: Duration,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -65,6 +78,14 @@ impl std::fmt::Display for QueryError {
                 write!(f, "information expired: age {age:?} exceeds ttl {ttl:?}")
             }
             QueryError::Provider(e) => write!(f, "{e}"),
+            QueryError::Unavailable { retry_after } => write!(
+                f,
+                "provider unavailable (breaker open); retry-after-ms={}",
+                // Round up: a hint must never understate the wait, or a
+                // client sleeping exactly `hint` (worst case: 0 ms from
+                // a sub-millisecond remainder) retries still-early.
+                retry_after.as_millis() + u128::from(retry_after.subsec_nanos() % 1_000_000 != 0)
+            ),
         }
     }
 }
@@ -97,6 +118,14 @@ struct EntryState {
 struct EntryTelemetry {
     coalesced: Arc<Counter>,
     throttled: Arc<Counter>,
+    /// Supervised-fetch accounting: in-fetch retries, last-known-good
+    /// serves, and deadline-budget breaches (service-wide counters).
+    retries: Arc<Counter>,
+    stale_serves: Arc<Counter>,
+    deadline_breaches: Arc<Counter>,
+    /// `info.breaker.<kw>` — the breaker position as a gauge
+    /// (0 = Closed, 1 = Open, 2 = HalfOpen).
+    breaker: Arc<Gauge>,
 }
 
 /// A keyword's provider, cache, monitor, and performance catalog.
@@ -114,6 +143,8 @@ pub struct SystemInformation {
     /// Write-once telemetry handles for monitor/throttle accounting;
     /// reading them is lock-free.
     telemetry: OnceLock<EntryTelemetry>,
+    /// The fault-domain supervisor guarding this keyword's provider.
+    supervisor: Supervisor,
 }
 
 impl std::fmt::Debug for SystemInformation {
@@ -136,6 +167,7 @@ impl SystemInformation {
         ttl: Duration,
         degradation: DegradationFn,
     ) -> Arc<Self> {
+        let supervisor = Supervisor::new(provider.keyword(), SupervisorConfig::default());
         Arc::new(SystemInformation {
             provider,
             clock,
@@ -147,6 +179,7 @@ impl SystemInformation {
             perf: Mutex::new(Welford::new()),
             executions: std::sync::atomic::AtomicU64::new(0),
             telemetry: OnceLock::new(),
+            supervisor,
         })
     }
 
@@ -162,6 +195,10 @@ impl SystemInformation {
         let _ = self.telemetry.set(EntryTelemetry {
             coalesced: telemetry.counter("info.coalesced"),
             throttled: telemetry.counter("info.throttled"),
+            retries: telemetry.counter("info.retries"),
+            stale_serves: telemetry.counter("info.stale_serves"),
+            deadline_breaches: telemetry.counter("info.deadline_breaches"),
+            breaker: telemetry.gauge(&format!("info.breaker.{}", self.keyword())),
         });
     }
 
@@ -244,6 +281,7 @@ impl SystemInformation {
             attributes: cached.attributes.clone(),
             produced_at: cached.produced_at,
             from_cache: true,
+            stale: false,
         })
     }
 
@@ -256,6 +294,7 @@ impl SystemInformation {
             attributes: cached.attributes.clone(),
             produced_at: cached.produced_at,
             from_cache: true,
+            stale: false,
         })
     }
 
@@ -289,6 +328,7 @@ impl SystemInformation {
                             attributes: Arc::clone(&c.attributes),
                             produced_at: c.produced_at,
                             from_cache: true,
+                            stale: false,
                         });
                     }
                 }
@@ -305,6 +345,7 @@ impl SystemInformation {
                             attributes: Arc::clone(&c.attributes),
                             produced_at: c.produced_at,
                             from_cache: true,
+                            stale: false,
                         });
                     }
                 }
@@ -322,6 +363,7 @@ impl SystemInformation {
                             attributes: Arc::clone(&c.attributes),
                             produced_at: c.produced_at,
                             from_cache: true,
+                            stale: false,
                         });
                     }
                 }
@@ -354,6 +396,7 @@ impl SystemInformation {
                         attributes,
                         produced_at,
                         from_cache: false,
+                        stale: false,
                     });
                 }
                 Err(e) => {
@@ -372,6 +415,153 @@ impl SystemInformation {
             Err(QueryError::NeverProduced) | Err(QueryError::Expired { .. }) => self.update_state(),
             Err(e) => Err(e),
         }
+    }
+
+    /// The fault-domain supervisor guarding this entry's provider.
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
+    }
+
+    /// Current breaker position (convenience over
+    /// [`SystemInformation::supervisor`]).
+    pub fn breaker_state(&self) -> BreakerState {
+        self.supervisor.state()
+    }
+
+    /// The deadline budget used when a query carries no explicit
+    /// `(timeout=...)`: TTL-proportional with a floor, per the
+    /// supervisor config.
+    pub fn default_deadline(&self) -> Duration {
+        self.supervisor.config().deadline_for(self.ttl)
+    }
+
+    fn count_supervised(&self, f: impl Fn(&EntryTelemetry)) {
+        if let Some(t) = self.telemetry.get() {
+            f(t);
+        }
+    }
+
+    fn publish_breaker_gauge(&self) {
+        if let Some(t) = self.telemetry.get() {
+            t.breaker.set(self.supervisor.state() as u32 as f64);
+        }
+    }
+
+    /// Supervised blocking refresh: [`update_state`] wrapped in the
+    /// fault-domain supervisor.
+    ///
+    /// * The breaker/backoff gate is consulted first; a deferred fetch
+    ///   never touches the provider and is served the last-known-good
+    ///   snapshot (tagged `stale`, with its true age) — or fails with
+    ///   [`QueryError::Unavailable`] carrying the retry-after hint when
+    ///   nothing is cached.
+    /// * Transient provider failures are retried in-fetch (bounded by
+    ///   the config's `max_retries`; a half-open probe gets none).
+    ///   Configuration errors ([`ProviderError::is_transient`] false)
+    ///   are never retried and never counted toward the breaker.
+    /// * The whole fetch runs under a deadline budget: `deadline` if
+    ///   given (the xRSL `(timeout=...)` tag), else TTL-proportional.
+    ///   Enforcement is cooperative — elapsed clock time is checked
+    ///   after the provider returns (injected hangs charge the clock,
+    ///   so breaches are observable under both clocks); a breach stops
+    ///   further retries and falls back to the stale snapshot.
+    /// * After the final failure the supervisor computes the jittered
+    ///   exponential backoff as a *not-before gate* rather than
+    ///   sleeping: subsequent fetches stale-serve until the gate opens.
+    ///   (A sleeping backoff would deadlock the virtual clock.)
+    ///
+    /// Hard failure (an `Err`) happens only when no snapshot exists or
+    /// the snapshot's quality has floored to zero under the degradation
+    /// function.
+    ///
+    /// [`update_state`]: SystemInformation::update_state
+    pub fn fetch_supervised(&self, deadline: Option<Duration>) -> Result<Snapshot, QueryError> {
+        let budget = deadline.unwrap_or_else(|| self.default_deadline());
+        let admission = self.supervisor.admit(self.clock.now());
+        let (probe, attempts) = match admission {
+            Admission::Deferred { retry_after } => {
+                self.publish_breaker_gauge();
+                return self.stale_serve(QueryError::Unavailable { retry_after });
+            }
+            Admission::Execute { probe } => {
+                let retries = if probe {
+                    0
+                } else {
+                    self.supervisor.config().max_retries
+                };
+                (probe, 1 + retries)
+            }
+        };
+        let started = self.clock.now();
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.count_supervised(|t| t.retries.incr());
+            }
+            let result = self.update_state();
+            let elapsed = self.clock.now().since(started);
+            let breached = elapsed > budget;
+            if breached {
+                self.count_supervised(|t| t.deadline_breaches.incr());
+            }
+            match result {
+                Ok(snap) => {
+                    // A late success is still a success: the value is
+                    // cached and fresher than anything stale-servable.
+                    // The breach was counted above.
+                    self.supervisor.on_success();
+                    self.publish_breaker_gauge();
+                    return Ok(snap);
+                }
+                Err(QueryError::Provider(e)) if !e.is_transient() => {
+                    // Configuration error: retrying cannot help, and the
+                    // breaker is for transient faults only.
+                    self.supervisor.on_config_failure(self.clock.now(), probe);
+                    self.publish_breaker_gauge();
+                    return self.stale_serve(QueryError::Provider(e));
+                }
+                Err(QueryError::Provider(e)) => {
+                    last_err = Some(QueryError::Provider(e));
+                    if breached {
+                        break; // no budget left to retry into
+                    }
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        self.supervisor.on_failure(self.clock.now(), probe);
+        self.publish_breaker_gauge();
+        // lint:allow(unwrap) — the loop always runs at least once and only exits with last_err set
+        self.stale_serve(last_err.expect("at least one attempt ran"))
+    }
+
+    /// Serve the last-known-good snapshot as a degraded answer, or
+    /// propagate `underlying` when nothing (useful) is cached.
+    ///
+    /// The snapshot keeps its true `produced_at`, so the age and
+    /// quality annotations downstream are honest; `stale: true` marks
+    /// it as fault-driven. When the degradation function has floored
+    /// the cached value's quality to zero, the value is worthless and
+    /// the underlying error surfaces instead.
+    fn stale_serve(&self, underlying: QueryError) -> Result<Snapshot, QueryError> {
+        let st = self.state.lock();
+        let Some(c) = &st.cached else {
+            return Err(underlying);
+        };
+        let age = self.clock.now().since(c.produced_at);
+        if self.degradation.quality(age) <= 0.0 {
+            return Err(underlying);
+        }
+        let snap = Snapshot {
+            keyword: self.keyword().to_string(),
+            attributes: Arc::clone(&c.attributes),
+            produced_at: c.produced_at,
+            from_cache: true,
+            stale: true,
+        };
+        drop(st);
+        self.count_supervised(|t| t.stale_serves.incr());
+        Ok(snap)
     }
 
     /// The paper's `getAverageUpdateTime`: `(mean, std_dev)` of real

@@ -27,6 +27,12 @@
 //! * [`aggregate`] — a GIIS-style aggregate index over several services
 //!   (§3: "we can create information aggregates through reuse of
 //!   information providers to improve scalability").
+//! * [`supervisor`] — the per-keyword fault-domain supervisor: a
+//!   Closed → Open → HalfOpen circuit breaker with non-blocking jittered
+//!   backoff, bounded in-fetch retries, and deadline budgets; failed or
+//!   budget-breached fetches serve the last-known-good snapshot tagged
+//!   with its true age so the degradation function reports honest,
+//!   degraded quality instead of an error.
 
 pub mod aggregate;
 pub mod config;
@@ -35,6 +41,7 @@ pub mod provider;
 pub mod quality;
 pub mod schema;
 pub mod service;
+pub mod supervisor;
 
 pub use config::{ConfigEntry, ConfigError, ServiceConfig, TABLE1_TEXT};
 pub use entry::{QueryError, Snapshot, SystemInformation};
@@ -43,3 +50,4 @@ pub use provider::{
 };
 pub use quality::DegradationFn;
 pub use service::{InfoServiceError, InformationService};
+pub use supervisor::{Admission, BreakerState, Supervisor, SupervisorConfig};

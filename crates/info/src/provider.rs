@@ -21,22 +21,51 @@ use infogram_sim::metrics::MetricSet;
 use std::sync::Arc;
 
 /// Why a provider could not produce its information.
+///
+/// The taxonomy matters to the fault supervisor: *transient* errors
+/// (nonzero exits, custom failures) are retried and counted toward the
+/// circuit breaker, while *configuration* errors (unknown executable,
+/// missing file) are permanent — retrying them is pointless, so they are
+/// surfaced immediately and never open the breaker. See
+/// [`ProviderError::is_transient`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProviderError {
-    /// The backing command failed (nonzero exit or unknown executable).
+    /// The backing command ran but exited nonzero — transient: the
+    /// backend may recover, so the supervisor retries and breaker-counts
+    /// these.
     CommandFailed {
         /// What ran.
         command: String,
-        /// Why it failed.
+        /// Why it failed, e.g. `exit code 1`.
         detail: String,
     },
-    /// The backing file does not exist.
+    /// The executable is not registered at all — a configuration error,
+    /// never retried: no number of attempts will make it appear.
+    UnknownCommand {
+        /// The command line that could not be resolved.
+        command: String,
+        /// The resolver's message, e.g. `unknown command: probe`.
+        detail: String,
+    },
+    /// The backing file does not exist (configuration error).
     FileMissing {
         /// The missing path.
         path: String,
     },
-    /// Custom provider failure.
+    /// Custom provider failure (treated as transient).
     Other(String),
+}
+
+impl ProviderError {
+    /// Whether retrying could plausibly succeed. Transient errors are
+    /// retried in-fetch and counted toward the circuit breaker;
+    /// configuration errors fail fast and leave the breaker untouched.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ProviderError::CommandFailed { .. } | ProviderError::Other(_) => true,
+            ProviderError::UnknownCommand { .. } | ProviderError::FileMissing { .. } => false,
+        }
+    }
 }
 
 impl std::fmt::Display for ProviderError {
@@ -44,6 +73,12 @@ impl std::fmt::Display for ProviderError {
         match self {
             ProviderError::CommandFailed { command, detail } => {
                 write!(f, "command '{command}' failed: {detail}")
+            }
+            ProviderError::UnknownCommand { command, detail } => {
+                write!(
+                    f,
+                    "command '{command}' failed: {detail} (configuration error)"
+                )
             }
             ProviderError::FileMissing { path } => write!(f, "file missing: {path}"),
             ProviderError::Other(s) => write!(f, "provider error: {s}"),
@@ -90,8 +125,11 @@ impl InfoProvider for CommandProvider {
     }
 
     fn produce(&self) -> Result<Vec<(String, String)>, ProviderError> {
+        // A command the registry cannot resolve is a configuration
+        // error, not a transient failure: classify it so the supervisor
+        // never wastes retries on it.
         let out = self.registry.execute(&self.command_line).map_err(|e| {
-            ProviderError::CommandFailed {
+            ProviderError::UnknownCommand {
                 command: self.command_line.clone(),
                 detail: e.to_string(),
             }
@@ -338,18 +376,29 @@ mod tests {
     #[test]
     fn command_provider_failure_modes() {
         let (_c, _host, reg) = world();
+        // Unresolvable executable → configuration error, never retried.
         let unknown = CommandProvider::new("X", "/bin/nonexistent", Arc::clone(&reg));
-        assert!(matches!(
-            unknown.produce(),
-            Err(ProviderError::CommandFailed { .. })
-        ));
-        let failing = CommandProvider::new("X", "false", reg);
-        match failing.produce() {
-            Err(ProviderError::CommandFailed { detail, .. }) => {
-                assert!(detail.contains("exit code 1"))
+        match unknown.produce() {
+            Err(e @ ProviderError::UnknownCommand { .. }) => {
+                assert!(!e.is_transient());
+                assert!(e.to_string().contains("unknown command"));
             }
             other => panic!("{other:?}"),
         }
+        // Nonzero exit → transient, retried and breaker-counted.
+        let failing = CommandProvider::new("X", "false", reg);
+        match failing.produce() {
+            Err(e @ ProviderError::CommandFailed { .. }) => {
+                assert!(e.is_transient());
+                assert!(e.to_string().contains("exit code 1"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(!ProviderError::FileMissing {
+            path: "/x".to_string()
+        }
+        .is_transient());
+        assert!(ProviderError::Other("boom".to_string()).is_transient());
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub struct QueryOptions {
     pub filter: Option<String>,
     /// `(performance=true)` — attach timing statistics.
     pub performance: bool,
+    /// `(timeout=...)` — the deadline budget for provider executions.
+    /// `None` uses the per-keyword TTL-proportional default.
+    pub deadline: Option<std::time::Duration>,
 }
 
 /// Interned per-keyword telemetry handles, resolved once at
@@ -324,12 +327,19 @@ impl InformationService {
         }
         // Refresh path: `(response=immediate)`, a quality-forced refresh,
         // or a cached-mode miss (expired / never produced / TTL 0).
+        // Runs under the fault-domain supervisor: breaker-gated, retried,
+        // deadline-budgeted, and stale-serving on failure.
         if quality_forces_refresh {
             self.svc_metrics.quality_refreshes.incr();
         }
         let before = self.clock.now();
-        let snap = si.update_state()?;
-        if snap.from_cache {
+        let snap = si.fetch_supervised(opts.deadline)?;
+        if snap.stale {
+            // Last-known-good served in place of a failed/gated refresh.
+            self.svc_metrics.cache_hits.incr();
+            reg.km.hits.incr();
+            reg.km.stale.incr();
+        } else if snap.from_cache {
             // The monitor coalesced us onto another caller's refresh, or
             // the delay throttle served the previous value.
             self.svc_metrics.cache_hits.incr();
@@ -363,6 +373,12 @@ impl InformationService {
         let mut rec = InfoRecord::new(si.keyword(), &self.hostname);
         let age = self.clock.now().since(snap.produced_at);
         let quality = si.degradation().quality(age);
+        if snap.stale {
+            // Fault-driven last-known-good: mark the record degraded and
+            // carry the value's true age so clients can judge it.
+            rec.degraded = true;
+            rec.stale_age_secs = Some(age.as_secs_f64());
+        }
         for (name, value) in snap.attributes.iter() {
             let attr = rec.push(name, value);
             attr.quality = Some(quality);

@@ -32,10 +32,18 @@ pub enum AggregateSource {
 }
 
 impl AggregateSource {
-    fn snapshot(&self) -> Vec<DirEntry> {
+    fn snapshot(&self) -> Result<Vec<DirEntry>, String> {
         match self {
-            AggregateSource::Gris(g) => g.search_all(&Filter::everything()),
-            AggregateSource::Giis(g) => g.search_all(&Filter::everything()),
+            // A GRIS pull is fallible: its keyword breakers may be open
+            // with nothing cached (or quality floored to zero), in which
+            // case the *aggregate's* cached copy of the member keeps
+            // serving instead of the whole query failing.
+            AggregateSource::Gris(g) => g
+                .try_search_all(&Filter::everything())
+                .map_err(|e| e.to_string()),
+            // A child GIIS absorbs its own members' failures the same
+            // way, so its snapshot is infallible.
+            AggregateSource::Giis(g) => Ok(g.search_all(&Filter::everything())),
         }
     }
 }
@@ -58,6 +66,9 @@ pub struct Giis {
     members: Mutex<Vec<Member>>,
     /// Number of pulls from member GRISes (cache misses).
     pulls: std::sync::atomic::AtomicU64,
+    /// Number of member pulls that failed, where the aggregate kept
+    /// serving the member's previously contributed (cached) entries.
+    stale_pulls: std::sync::atomic::AtomicU64,
 }
 
 impl std::fmt::Debug for Giis {
@@ -80,6 +91,7 @@ impl Giis {
             tree: DirectoryTree::new(),
             members: Mutex::new(Vec::new()),
             pulls: std::sync::atomic::AtomicU64::new(0),
+            stale_pulls: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -112,6 +124,11 @@ impl Giis {
         self.pulls.load(std::sync::atomic::Ordering::Relaxed)
     }
 
+    /// Failed member pulls served from the aggregate's cached copy.
+    pub fn stale_pull_count(&self) -> u64 {
+        self.stale_pulls.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// The aggregate's base DN.
     pub fn base(&self) -> &Dn {
         &self.base
@@ -139,8 +156,21 @@ impl Giis {
         }
         let snapshots = infogram_sim::par::fan_out(&stale, |_, (_, src)| src.snapshot());
         // Gather: apply tree mutations sequentially, in member order.
-        for ((idx, _), entries) in stale.iter().zip(snapshots) {
+        for ((idx, _), snapshot) in stale.iter().zip(snapshots) {
             let member = &mut members[*idx];
+            let entries = match snapshot {
+                Ok(entries) => entries,
+                Err(_why) => {
+                    // Member fault domain: keep whatever this member
+                    // contributed last time in the tree, stamp the pull
+                    // so the member is not hammered before the TTL, and
+                    // count the degraded serve.
+                    member.fetched_at = Some(now);
+                    self.stale_pulls
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    continue;
+                }
+            };
             for dn in member.contributed.drain(..) {
                 self.tree.remove(&dn);
             }
@@ -289,6 +319,58 @@ mod tests {
             .len();
         assert_eq!(before, after);
         assert_eq!(before, 10, "5 keywords x 2 hosts");
+    }
+
+    #[test]
+    fn open_member_serves_cached_records() {
+        use infogram_sim::fault::{Fault, FaultPlan};
+        let clock = ManualClock::new();
+        let giis = Giis::new(clock.clone(), Duration::from_secs(30));
+        let mut regs = Vec::new();
+        for i in 0..2 {
+            let host = SimulatedHost::new(
+                HostConfig {
+                    hostname: format!("node{i:02}.grid"),
+                    seed: 77 + i as u64,
+                    ..Default::default()
+                },
+                clock.clone(),
+            );
+            let reg = CommandRegistry::new(host, ChargeMode::Advance(clock.clone()));
+            regs.push(reg.clone());
+            let info = InformationService::from_config(
+                &ServiceConfig::table1(),
+                reg,
+                clock.clone(),
+                MetricSet::new(),
+            );
+            giis.register(Gris::new(info));
+        }
+        // Healthy first pull: both members contribute host + 5 keywords.
+        assert_eq!(giis.search_all(&Filter::everything()).len(), 12);
+        assert_eq!(giis.pull_count(), 2);
+
+        // Every provider command on node00 now fails. By the time the
+        // GIIS cache expires, every snapshot is far past its (Binary)
+        // lifetime, so node00's GRIS fails hard instead of stale-serving
+        // — the aggregate must fall back to its own cached copy.
+        let plan = FaultPlan::new();
+        for cmd in ["date", "sysinfo", "cpuload", "ls"] {
+            plan.script(cmd, vec![Fault::Fail; 12]);
+        }
+        regs[0].set_fault_plan(plan);
+        clock.advance(Duration::from_secs(31));
+        let entries = giis.search_all(&Filter::everything());
+        assert_eq!(entries.len(), 12, "failed member's cached entries serve");
+        assert_eq!(giis.stale_pull_count(), 1);
+        assert_eq!(giis.pull_count(), 3, "healthy member still re-pulled");
+
+        // Fault plan removed: the next expiry round pulls fresh again.
+        regs[0].clear_fault_plan();
+        clock.advance(Duration::from_secs(31));
+        assert_eq!(giis.search_all(&Filter::everything()).len(), 12);
+        assert_eq!(giis.pull_count(), 5);
+        assert_eq!(giis.stale_pull_count(), 1, "no new degraded pulls");
     }
 
     #[test]

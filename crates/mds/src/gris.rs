@@ -10,7 +10,7 @@
 use crate::dit::{DirEntry, DirectoryTree, Scope};
 use crate::filter::Filter;
 use infogram_gsi::Dn;
-use infogram_info::service::{InformationService, QueryOptions};
+use infogram_info::service::{InfoServiceError, InformationService, QueryOptions};
 use infogram_rsl::InfoSelector;
 use std::sync::Arc;
 
@@ -58,13 +58,19 @@ impl Gris {
     /// Refresh the directory subtree from the information service
     /// (cached reads — the GRIS does not bypass the provider TTLs).
     pub fn refresh(&self) {
-        let records = match self
+        // A failing provider leaves stale entries; searches serve them.
+        let _ = self.try_refresh();
+    }
+
+    /// Like [`Gris::refresh`], but reports why a refresh could not run —
+    /// e.g. the keyword's breaker is open with nothing cached. The
+    /// subtree is left untouched on failure (stale entries keep
+    /// serving), so a GIIS pulling this member can tell "fresh pull"
+    /// from "member degraded, serve my cached copy".
+    pub fn try_refresh(&self) -> Result<(), InfoServiceError> {
+        let records = self
             .info
-            .answer(&[InfoSelector::All], &QueryOptions::default())
-        {
-            Ok(r) => r,
-            Err(_) => return, // a failing provider leaves stale entries
-        };
+            .answer(&[InfoSelector::All], &QueryOptions::default())?;
         self.tree.remove_subtree(&self.base);
         self.tree.put(DirEntry::new(
             self.base.clone(),
@@ -87,6 +93,7 @@ impl Gris {
             }
             self.tree.put(DirEntry::new(dn, attributes));
         }
+        Ok(())
     }
 
     /// Search the (refreshed) subtree.
@@ -98,6 +105,14 @@ impl Gris {
     /// Search from this GRIS's own base.
     pub fn search_all(&self, filter: &Filter) -> Vec<DirEntry> {
         self.search(&self.base.clone(), Scope::Sub, filter)
+    }
+
+    /// Search from this GRIS's own base, surfacing a refresh failure
+    /// instead of silently serving the stale subtree. Used by the GIIS
+    /// member pull so the aggregate can fall back to *its* cached copy.
+    pub fn try_search_all(&self, filter: &Filter) -> Result<Vec<DirEntry>, InfoServiceError> {
+        self.try_refresh()?;
+        Ok(self.tree.search(&self.base, Scope::Sub, filter))
     }
 }
 

@@ -36,6 +36,11 @@ pub mod codes {
     /// The service does not serve this request type (e.g. info query to a
     /// plain GRAM).
     pub const UNSUPPORTED: u32 = 40;
+    /// The keyword's fault-domain breaker is open and no last-known-good
+    /// snapshot could be served. The message carries a machine-readable
+    /// `retry-after-ms=<n>` hint telling the client when the supervisor
+    /// will admit another provider execution.
+    pub const UNAVAILABLE: u32 = 35;
 }
 
 /// Client → service messages.

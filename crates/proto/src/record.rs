@@ -54,6 +54,15 @@ pub struct InfoRecord {
     pub host: String,
     /// The attributes, in provider order.
     pub attributes: Vec<Attribute>,
+    /// Whether this record is a *degraded* answer: the provider failed
+    /// or was breaker-gated, and the last-known-good value was served
+    /// instead. The per-attribute quality/age annotations carry the
+    /// honest degradation; this flag tells the client the value is not
+    /// fresh *because of a fault*, not merely TTL caching.
+    pub degraded: bool,
+    /// When degraded: seconds since the served value was produced (its
+    /// true age, the input to the degradation function).
+    pub stale_age_secs: Option<f64>,
 }
 
 impl InfoRecord {
@@ -63,6 +72,8 @@ impl InfoRecord {
             keyword: keyword.to_string(),
             host: host.to_string(),
             attributes: Vec::new(),
+            degraded: false,
+            stale_age_secs: None,
         }
     }
 

@@ -61,6 +61,14 @@ pub fn render(records: &[InfoRecord]) -> String {
             &format!("kw={}, hn={}, o=Grid", rec.keyword, rec.host),
         );
         push_attr(&mut out, "objectclass", "InfoGramProvider");
+        if rec.degraded {
+            // Fault-domain annotation (§ fault supervisor): the record is
+            // a last-known-good stale serve, with its true age.
+            push_attr(&mut out, "infogram-degraded", "TRUE");
+            if let Some(age) = rec.stale_age_secs {
+                push_attr(&mut out, "infogram-stale-age", &format!("{age:.3}"));
+            }
+        }
         for a in &rec.attributes {
             let name = ldif_name(&a.name);
             push_attr(&mut out, &name, &a.value);
@@ -112,6 +120,14 @@ pub fn parse(text: &str) -> Vec<InfoRecord> {
             current = Some(InfoRecord::new(&keyword, &host));
         } else if raw_name == "objectclass" {
             continue;
+        } else if raw_name == "infogram-degraded" {
+            if let Some(rec) = current.as_mut() {
+                rec.degraded = value == "TRUE";
+            }
+        } else if raw_name == "infogram-stale-age" {
+            if let Some(rec) = current.as_mut() {
+                rec.stale_age_secs = value.parse().ok();
+            }
         } else if let Some(rec) = current.as_mut() {
             let keyword = rec.keyword.clone();
             if let Some(base) = raw_name.strip_suffix(";quality") {
@@ -173,6 +189,24 @@ mod tests {
         assert_eq!(parsed[1].get("value").unwrap().age_secs, Some(1.5));
         // Namespaces restored exactly.
         assert_eq!(parsed[0].attributes[0].name, "Memory:total");
+    }
+
+    #[test]
+    fn degraded_annotation_roundtrips() {
+        let mut r = InfoRecord::new("CPULoad", "node0.grid");
+        r.push("load", "0.93");
+        r.degraded = true;
+        r.stale_age_secs = Some(31.25);
+        let out = render(&[r]);
+        assert!(out.contains("infogram-degraded: TRUE"));
+        assert!(out.contains("infogram-stale-age: 31.250"));
+        let parsed = parse(&out);
+        assert!(parsed[0].degraded);
+        assert_eq!(parsed[0].stale_age_secs, Some(31.25));
+        // Fresh records carry no annotation at all.
+        let fresh = render(&[InfoRecord::new("CPU", "n")]);
+        assert!(!fresh.contains("infogram-degraded"));
+        assert!(!parse(&fresh)[0].degraded);
     }
 
     #[test]

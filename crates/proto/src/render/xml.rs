@@ -68,10 +68,18 @@ pub fn render(records: &[InfoRecord]) -> String {
     let mut out = String::from("<infogram>\n");
     for rec in records {
         out.push_str(&format!(
-            "  <provider keyword=\"{}\" host=\"{}\">\n",
+            "  <provider keyword=\"{}\" host=\"{}\"",
             escape(&rec.keyword),
             escape(&rec.host)
         ));
+        if rec.degraded {
+            // Fault-domain annotation: last-known-good stale serve.
+            out.push_str(" degraded=\"true\"");
+            if let Some(age) = rec.stale_age_secs {
+                out.push_str(&format!(" stale-age=\"{age:.3}\""));
+            }
+        }
+        out.push_str(">\n");
         for a in &rec.attributes {
             out.push_str(&format!("    <attribute name=\"{}\"", escape(&a.name)));
             if let Some(q) = a.quality {
@@ -99,7 +107,10 @@ pub fn parse(text: &str) -> Vec<InfoRecord> {
         if let Some(rest) = line.strip_prefix("<provider ") {
             let keyword = attr_of(rest, "keyword").unwrap_or_default();
             let host = attr_of(rest, "host").unwrap_or_default();
-            current = Some(InfoRecord::new(&keyword, &host));
+            let mut rec = InfoRecord::new(&keyword, &host);
+            rec.degraded = attr_of(rest, "degraded").as_deref() == Some("true");
+            rec.stale_age_secs = attr_of(rest, "stale-age").and_then(|a| a.parse().ok());
+            current = Some(rec);
         } else if line == "</provider>" {
             if let Some(rec) = current.take() {
                 records.push(rec);
@@ -167,6 +178,22 @@ mod tests {
         assert_eq!(parsed[0].get("total").unwrap().value, "4294967296");
         assert_eq!(parsed[1].get("load").unwrap().quality, Some(0.75));
         assert_eq!(parsed[1].get("load5").unwrap().age_secs, Some(3.0));
+    }
+
+    #[test]
+    fn degraded_annotation_roundtrips() {
+        let mut r = InfoRecord::new("Memory", "node0.grid");
+        r.push("total", "4096");
+        r.degraded = true;
+        r.stale_age_secs = Some(12.5);
+        let out = render(&[r]);
+        assert!(out.contains("degraded=\"true\""));
+        assert!(out.contains("stale-age=\"12.500\""));
+        let parsed = parse(&out);
+        assert!(parsed[0].degraded);
+        assert_eq!(parsed[0].stale_age_secs, Some(12.5));
+        let fresh = render(&[InfoRecord::new("CPU", "n")]);
+        assert!(!parse(&fresh)[0].degraded);
     }
 
     #[test]

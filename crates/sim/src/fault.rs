@@ -1,0 +1,372 @@
+//! Deterministic fault injection for provider commands.
+//!
+//! A [`FaultPlan`] scripts failures against named targets (command
+//! basenames, i.e. the executables behind information keywords). The
+//! command registry consults the plan on every execution and applies the
+//! next scripted [`Fault`] for that target, so every failure mode —
+//! nonzero exits, hangs, slowdowns, crash-and-restart windows — is
+//! reproducible under both the system clock and the virtual clock, and
+//! explorable by `sim::model`.
+//!
+//! Two modes:
+//!
+//! * **Scripted** ([`FaultPlan::script`]): a per-target sequence of
+//!   faults consumed one per execution; once the sequence is exhausted
+//!   the target is healthy again. This is what the fault-supervisor
+//!   tests use — "fail 3×, then recover" is `script(k, vec![Fail; 3])`.
+//! * **Storm** ([`FaultPlan::storm`]): every execution of every target
+//!   draws from a seeded PRNG with configured fault probabilities.
+//!   Chaos smoke and the `e17_fault_storm` bench use this; the seed
+//!   makes any run replayable byte-for-byte.
+//!
+//! The plan only *decides*; applying the decision (charging the hang
+//! duration to the clock, shaping the exit code) is the command
+//! registry's job, so decisions stay pure and deterministic.
+
+use crate::clock::SimTime;
+use crate::rng::SplitMix64;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One scripted failure mode for a single execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The command runs (cost charged as usual) but exits nonzero.
+    Fail,
+    /// The command stalls for the given duration, then is reaped as
+    /// failed — modelling a hung backend killed by a watchdog. The
+    /// duration is charged to the clock *in addition to* the normal
+    /// execution cost, so deadline budgets observe the stall.
+    Hang(Duration),
+    /// The command succeeds, but only after an extra delay — a slow
+    /// backend, not a broken one.
+    SlowBy(Duration),
+    /// The target crashes: this and every subsequent execution fails
+    /// instantly until `restart_after` has elapsed on the clock, at
+    /// which point the target is healthy again (and the script resumes).
+    Crash {
+        /// How long the target stays down after the crash.
+        restart_after: Duration,
+    },
+}
+
+/// What the registry should do for one execution, as decided by the plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Injection {
+    /// Run the command normally.
+    Healthy,
+    /// Charge normal cost, then fail with this exit code and detail.
+    Fail {
+        /// Exit code to report (nonzero).
+        exit_code: i32,
+        /// Human-readable cause, e.g. `injected failure`.
+        detail: &'static str,
+    },
+    /// Charge the stall duration, then fail (hung, reaped by watchdog).
+    Hang(Duration),
+    /// Charge the extra delay, then run the command normally.
+    SlowBy(Duration),
+}
+
+/// Exit code reported for an injected plain failure.
+pub const EXIT_INJECTED: i32 = 13;
+/// Exit code reported for a hung-then-reaped execution.
+pub const EXIT_HUNG: i32 = 124;
+/// Exit code reported while a crashed target is down.
+pub const EXIT_CRASHED: i32 = 137;
+
+#[derive(Debug, Default)]
+struct Script {
+    seq: Vec<Fault>,
+    next: usize,
+    /// While set, every execution fails instantly until the clock
+    /// reaches this time.
+    down_until: Option<SimTime>,
+}
+
+/// Storm-mode probabilities (all per-execution, independent draws).
+#[derive(Debug, Clone)]
+pub struct StormProfile {
+    /// Probability an execution fails outright.
+    pub fail_p: f64,
+    /// Probability an execution hangs for [`StormProfile::hang_for`].
+    pub hang_p: f64,
+    /// Probability an execution is slowed by [`StormProfile::slow_by`].
+    pub slow_p: f64,
+    /// Stall duration for injected hangs.
+    pub hang_for: Duration,
+    /// Extra delay for injected slowdowns.
+    pub slow_by: Duration,
+}
+
+impl Default for StormProfile {
+    /// The scripted "10% provider-failure storm": 10% fails, 2% hangs,
+    /// 5% slowdowns, with short stalls suitable for wall-clock runs.
+    fn default() -> Self {
+        StormProfile {
+            fail_p: 0.10,
+            hang_p: 0.02,
+            slow_p: 0.05,
+            hang_for: Duration::from_millis(30),
+            slow_by: Duration::from_millis(10),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Mode {
+    Scripted,
+    Storm {
+        seed: u64,
+        /// Per-target draw streams, created lazily from `seed` mixed
+        /// with the target name. Independent streams keep storm replay
+        /// byte-identical even when fetches for *different* targets
+        /// run concurrently (fan-out): interleaving across targets
+        /// cannot perturb any one target's draw sequence. Draws for
+        /// the *same* target stay ordered by the plan mutex.
+        streams: HashMap<String, SplitMix64>,
+        profile: StormProfile,
+    },
+}
+
+/// FNV-1a over the target name: a stable, platform-independent stream
+/// discriminator mixed into the storm seed.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A deterministic, shareable fault-injection plan.
+///
+/// Thread-safe; one plan is typically shared by a command registry and
+/// the test that scripts it. All interior state (script cursors, crash
+/// windows, the per-target storm streams) lives behind one mutex, so
+/// concurrent executions serialize their draws; per-target streams
+/// make the draw *sequences* independent of cross-target interleaving,
+/// so seeded storms replay byte-identically even under fan-out.
+#[derive(Debug)]
+pub struct FaultPlan {
+    state: Mutex<PlanState>,
+    injected: AtomicU64,
+}
+
+#[derive(Debug)]
+struct PlanState {
+    scripts: HashMap<String, Script>,
+    mode: Mode,
+}
+
+impl FaultPlan {
+    /// An empty scripted plan: every target healthy until scripted.
+    pub fn new() -> Arc<Self> {
+        Arc::new(FaultPlan {
+            state: Mutex::new(PlanState {
+                scripts: HashMap::new(),
+                mode: Mode::Scripted,
+            }),
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// A seeded storm: every execution of every target draws faults
+    /// from `profile` using a PRNG seeded with `seed`. Targets can
+    /// still be scripted on top; scripts take precedence for their
+    /// target until exhausted.
+    pub fn storm(seed: u64, profile: StormProfile) -> Arc<Self> {
+        Arc::new(FaultPlan {
+            state: Mutex::new(PlanState {
+                scripts: HashMap::new(),
+                mode: Mode::Storm {
+                    seed,
+                    streams: HashMap::new(),
+                    profile,
+                },
+            }),
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// Script a fault sequence for one target (command basename).
+    /// Replaces any existing script for that target.
+    pub fn script(&self, target: &str, seq: Vec<Fault>) {
+        let mut st = self.state.lock();
+        st.scripts.insert(
+            target.to_string(),
+            Script {
+                seq,
+                next: 0,
+                down_until: None,
+            },
+        );
+    }
+
+    /// Total number of injections applied so far (all targets).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Decide what happens to the next execution of `target` at `now`.
+    ///
+    /// Consumes one scripted fault (if any remain), manages crash
+    /// windows, and falls back to storm draws when configured.
+    pub fn decide(&self, target: &str, now: SimTime) -> Injection {
+        let mut st = self.state.lock();
+        // A crash window in force dominates everything else.
+        if let Some(script) = st.scripts.get_mut(target) {
+            if let Some(until) = script.down_until {
+                if now < until {
+                    drop(st);
+                    self.injected.fetch_add(1, Ordering::Relaxed);
+                    return Injection::Fail {
+                        exit_code: EXIT_CRASHED,
+                        detail: "injected crash (target down)",
+                    };
+                }
+                script.down_until = None; // restarted
+            }
+            if script.next < script.seq.len() {
+                let fault = script.seq[script.next].clone();
+                script.next += 1;
+                let injection = match fault {
+                    Fault::Fail => Injection::Fail {
+                        exit_code: EXIT_INJECTED,
+                        detail: "injected failure",
+                    },
+                    Fault::Hang(d) => Injection::Hang(d),
+                    Fault::SlowBy(d) => Injection::SlowBy(d),
+                    Fault::Crash { restart_after } => {
+                        script.down_until = Some(now.plus(restart_after));
+                        Injection::Fail {
+                            exit_code: EXIT_CRASHED,
+                            detail: "injected crash (target down)",
+                        }
+                    }
+                };
+                drop(st);
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return injection;
+            }
+        }
+        if let Mode::Storm {
+            seed,
+            streams,
+            profile,
+        } = &mut st.mode
+        {
+            let stream = streams
+                .entry(target.to_string())
+                .or_insert_with(|| SplitMix64::new(*seed ^ fnv1a(target)));
+            let draw = stream.next_f64();
+            let injection = if draw < profile.fail_p {
+                Some(Injection::Fail {
+                    exit_code: EXIT_INJECTED,
+                    detail: "injected failure",
+                })
+            } else if draw < profile.fail_p + profile.hang_p {
+                Some(Injection::Hang(profile.hang_for))
+            } else if draw < profile.fail_p + profile.hang_p + profile.slow_p {
+                Some(Injection::SlowBy(profile.slow_by))
+            } else {
+                None
+            };
+            if let Some(injection) = injection {
+                drop(st);
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return injection;
+            }
+        }
+        Injection::Healthy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn scripted_sequence_consumed_in_order_then_healthy() {
+        let plan = FaultPlan::new();
+        plan.script(
+            "cpuload",
+            vec![
+                Fault::Fail,
+                Fault::SlowBy(Duration::from_millis(5)),
+                Fault::Hang(Duration::from_millis(50)),
+            ],
+        );
+        assert!(matches!(plan.decide("cpuload", T0), Injection::Fail { .. }));
+        assert_eq!(
+            plan.decide("cpuload", T0),
+            Injection::SlowBy(Duration::from_millis(5))
+        );
+        assert_eq!(
+            plan.decide("cpuload", T0),
+            Injection::Hang(Duration::from_millis(50))
+        );
+        assert_eq!(plan.decide("cpuload", T0), Injection::Healthy);
+        // Other targets unaffected throughout.
+        assert_eq!(plan.decide("date", T0), Injection::Healthy);
+        assert_eq!(plan.injected(), 3);
+    }
+
+    #[test]
+    fn crash_holds_target_down_until_restart() {
+        let plan = FaultPlan::new();
+        plan.script(
+            "sysinfo",
+            vec![Fault::Crash {
+                restart_after: Duration::from_secs(10),
+            }],
+        );
+        assert!(matches!(
+            plan.decide("sysinfo", T0),
+            Injection::Fail {
+                exit_code: EXIT_CRASHED,
+                ..
+            }
+        ));
+        // Still down 5s in.
+        let t5 = T0.plus(Duration::from_secs(5));
+        assert!(matches!(plan.decide("sysinfo", t5), Injection::Fail { .. }));
+        // Back up after the restart window.
+        let t10 = T0.plus(Duration::from_secs(10));
+        assert_eq!(plan.decide("sysinfo", t10), Injection::Healthy);
+    }
+
+    #[test]
+    fn storm_is_seed_deterministic() {
+        let a = FaultPlan::storm(42, StormProfile::default());
+        let b = FaultPlan::storm(42, StormProfile::default());
+        let seq_a: Vec<Injection> = (0..200).map(|_| a.decide("cpuload", T0)).collect();
+        let seq_b: Vec<Injection> = (0..200).map(|_| b.decide("cpuload", T0)).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|i| *i != Injection::Healthy));
+        assert!(seq_a.contains(&Injection::Healthy));
+    }
+
+    #[test]
+    fn script_takes_precedence_over_storm() {
+        let plan = FaultPlan::storm(
+            7,
+            StormProfile {
+                fail_p: 0.0,
+                hang_p: 0.0,
+                slow_p: 0.0,
+                ..StormProfile::default()
+            },
+        );
+        plan.script("date", vec![Fault::Fail]);
+        assert!(matches!(plan.decide("date", T0), Injection::Fail { .. }));
+        // Script exhausted, zero-probability storm: healthy.
+        assert_eq!(plan.decide("date", T0), Injection::Healthy);
+    }
+}

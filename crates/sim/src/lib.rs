@@ -22,6 +22,10 @@
 //!   harness.
 //! * [`workload`] — open- and closed-loop arrival processes for the
 //!   client populations driving the experiments.
+//! * [`fault`] — deterministic fault injection: scripted or seeded-storm
+//!   [`FaultPlan`]s that the command registry consults on every
+//!   execution, so provider failures (exits, hangs, slowdowns, crash
+//!   windows) replay identically under both clocks.
 //! * [`par`] — the scoped, order-preserving scatter-gather fan-out used
 //!   by `(info=all)` answering, aggregate member queries, and GIIS
 //!   member pulls.
@@ -32,6 +36,7 @@
 //!   `scripts/check_model.sh`.
 
 pub mod clock;
+pub mod fault;
 pub mod metrics;
 #[cfg(feature = "model")]
 pub mod model;
@@ -41,6 +46,7 @@ pub mod rng;
 pub mod workload;
 
 pub use clock::{Clock, ManualClock, SharedClock, SimTime, SystemClock};
+pub use fault::{Fault, FaultPlan, Injection, StormProfile};
 pub use infogram_obs::stats;
 pub use par::{fan_out, fan_out_bounded};
 pub use rng::SplitMix64;

@@ -1,12 +1,15 @@
 #!/bin/sh
-# Smoke-run the scatter-gather benchmark (E16) and gate on its pass flag.
+# Smoke-run the acceptance-gated benchmarks and gate on their pass flags.
 #
-# Runs `e16_parallel_fanout` in quick mode (3 rounds per K, 20k hit-path
-# queries — a few seconds total) and writes the machine-readable result
-# to BENCH_parallel_fanout.json at the repo root. The bench asserts its
-# own acceptance criterion — `(info=all)` over 4 slow keywords within
-# 1.5x of one provider's cost — and exits non-zero if the fan-out pool
-# ever regresses to sequential behaviour, so this doubles as a CI gate.
+#   - e16_parallel_fanout (quick: 3 rounds per K, 20k hit-path queries)
+#     writes BENCH_parallel_fanout.json; asserts `(info=all)` over 4
+#     slow keywords stays within 1.5x of one provider's cost.
+#   - e17_fault_storm (quick: 400 rounds) writes BENCH_fault_storm.json;
+#     asserts >=99% availability under a seeded 10% provider-failure
+#     storm and byte-identical replay from the seed.
+#
+# Each bench asserts its own acceptance criterion and exits non-zero on
+# regression, so this doubles as a CI gate. A few seconds total.
 
 set -eu
 
@@ -24,4 +27,16 @@ grep -q '"pass": true' "$OUT" || {
     echo "bench smoke FAILED: $OUT does not report pass=true" >&2
     exit 1
 }
-echo "==> bench smoke ok ($OUT)"
+
+STORM_OUT="${BENCH_STORM_OUT:-BENCH_fault_storm.json}"
+
+echo "==> e17_fault_storm (quick) -> $STORM_OUT"
+E17_QUICK=1 E17_JSON="$(pwd)/$STORM_OUT" cargo bench -q -p infogram-bench \
+    --bench e17_fault_storm
+
+grep -q '"pass": true' "$STORM_OUT" || {
+    echo "bench smoke FAILED: $STORM_OUT does not report pass=true" >&2
+    exit 1
+}
+
+echo "==> bench smoke ok ($OUT, $STORM_OUT)"

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Chaos smoke: the full sandbox under a randomized-but-seeded fault
+# storm (examples/chaos.rs).
+#
+# Each run draws a fresh storm seed (printed up front), hammers the
+# service through a real client while 10% of provider executions fail,
+# and asserts zero panics plus a bounded query-error rate. To replay a
+# failing run exactly:
+#
+#   SEED=<printed seed> scripts/chaos_smoke.sh
+#
+# ROUNDS=<n> scales the run length (default 40 rounds x 5 keywords).
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> chaos smoke (examples/chaos.rs)"
+cargo run -q --release --example chaos
+
+echo "==> chaos smoke ok"

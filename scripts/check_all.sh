@@ -10,8 +10,11 @@
 #   5. scripts/check_model.sh — bounded schedule-exploration model
 #      checking of the concurrency core (seconds; EXHAUSTIVE=1 for the
 #      unbounded sweep)
-#   6. scripts/bench_smoke.sh — quick E16 run gating on the fan-out
-#      acceptance criterion (writes BENCH_parallel_fanout.json)
+#   6. scripts/bench_smoke.sh — quick E16 + E17 runs gating on the
+#      fan-out and fault-storm acceptance criteria (writes
+#      BENCH_parallel_fanout.json and BENCH_fault_storm.json)
+#   7. scripts/chaos_smoke.sh — the full sandbox under a seeded random
+#      fault storm: zero panics, bounded error rate, replayable seed
 #
 # Works fully offline; expect a few minutes on a cold target dir.
 
@@ -33,5 +36,7 @@ cargo test --workspace -q
 sh scripts/check_model.sh
 
 sh scripts/bench_smoke.sh
+
+sh scripts/chaos_smoke.sh
 
 echo "==> all gates green"

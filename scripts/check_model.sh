@@ -9,6 +9,9 @@
 #   - tests/model_concurrency.rs (the InfoGram invariants: coalescing
 #     generation, the seeded stale-waiter regression, throttle delay,
 #     COW registry)
+#   - tests/model_fault.rs (the fault-domain supervisor: half-open
+#     probe exclusivity with a seeded check-then-act regression,
+#     breaker transitions under racing failures, stale-serve honesty)
 #
 # plus clippy over the `model` feature configuration, which the default
 # gate never compiles.
@@ -39,5 +42,8 @@ cargo test -p infogram-sim --features model -q
 
 echo "==> model suite: tests/model_concurrency.rs (${MODE})"
 cargo test -p infogram --features model --test model_concurrency -q
+
+echo "==> model suite: tests/model_fault.rs (${MODE})"
+cargo test -p infogram --features model --test model_fault -q
 
 echo "==> model checking green (${MODE})"

@@ -25,7 +25,9 @@ fn broken_provider_fails_only_its_own_keyword() {
     });
     let mut client = sandbox.connect_client();
 
-    // The broken keyword reports a provider failure...
+    // The broken keyword reports a provider failure. A nonzero exit is
+    // *transient* in the error taxonomy, so the supervisor burns its
+    // in-fetch retry budget (1 attempt + 2 retries) before giving up.
     match client.info("Broken") {
         Err(ClientError::Server { code, message }) => {
             assert_eq!(code, codes::INTERNAL);
@@ -33,6 +35,14 @@ fn broken_provider_fails_only_its_own_keyword() {
         }
         other => panic!("{other:?}"),
     }
+    let info_service = sandbox.service.info_service();
+    assert_eq!(
+        info_service.lookup("Broken").unwrap().execution_count(),
+        3,
+        "transient failures are retried"
+    );
+    // A missing executable is a *configuration* error: retrying cannot
+    // fix it, so exactly one execution happens and the breaker ignores it.
     match client.info("Missing") {
         Err(ClientError::Server { code, message }) => {
             assert_eq!(code, codes::INTERNAL);
@@ -40,6 +50,11 @@ fn broken_provider_fails_only_its_own_keyword() {
         }
         other => panic!("{other:?}"),
     }
+    assert_eq!(
+        info_service.lookup("Missing").unwrap().execution_count(),
+        1,
+        "configuration errors are never retried"
+    );
 
     // ...while every healthy keyword keeps working on the same connection.
     for kw in ["Date", "Memory", "CPU", "CPULoad", "list"] {
