@@ -30,6 +30,30 @@ use std::time::Duration;
 /// from, so taking a snapshot — and cloning one — never deep-copies the
 /// attribute vector. Cache hits, coalesced waiters, and `(response=last)`
 /// reads all alias the one list the provider produced.
+///
+/// ```
+/// use infogram_info::entry::SystemInformation;
+/// use infogram_info::provider::FnProvider;
+/// use infogram_info::quality::DegradationFn;
+/// use infogram_sim::ManualClock;
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let si = SystemInformation::new(
+///     Box::new(FnProvider::new("Date", || {
+///         Ok(vec![("date".to_string(), "2002-07-24".to_string())])
+///     })),
+///     ManualClock::new(),
+///     Duration::from_secs(60),
+///     DegradationFn::default(),
+/// );
+/// let fresh = si.update_state()?; // provider executed
+/// let hit = si.query_state()?; // served from cache
+/// assert!(!fresh.from_cache && hit.from_cache && !hit.stale);
+/// // Both snapshots alias the one produced attribute list.
+/// assert!(Arc::ptr_eq(&fresh.attributes, &hit.attributes));
+/// # Ok::<(), infogram_info::entry::QueryError>(())
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
     /// The keyword.
@@ -476,12 +500,47 @@ impl SystemInformation {
     ///
     /// [`update_state`]: SystemInformation::update_state
     pub fn fetch_supervised(&self, deadline: Option<Duration>) -> Result<Snapshot, QueryError> {
+        self.supervised_refresh(deadline, true)
+    }
+
+    /// Supervised refresh for the background scheduler: identical
+    /// admission, retry, and breaker accounting to
+    /// [`SystemInformation::fetch_supervised`], but failures are
+    /// *reported, not degraded* — a prefetch has no caller to serve a
+    /// stale answer to, and the scheduler needs the raw outcome to
+    /// decide between rescheduling, parking, and evicting:
+    ///
+    /// * [`QueryError::Unavailable`] — the breaker/backoff gate deferred
+    ///   the refresh; `retry_after` is when to try again (park).
+    /// * [`QueryError::Provider`] with a non-transient error — the
+    ///   keyword is misconfigured; refreshing it again is pointless
+    ///   (evict from the refresh queue).
+    /// * [`QueryError::Provider`] with a transient error — the bounded
+    ///   in-fetch retries were exhausted; the supervisor's backoff gate
+    ///   is now armed (park until it opens).
+    pub fn refresh_scheduled(&self) -> Result<Snapshot, QueryError> {
+        self.supervised_refresh(None, false)
+    }
+
+    /// Shared core of the two supervised paths. `degrade` selects the
+    /// failure policy: serve the last-known-good snapshot (interactive
+    /// queries) or surface the error (background refreshes).
+    fn supervised_refresh(
+        &self,
+        deadline: Option<Duration>,
+        degrade: bool,
+    ) -> Result<Snapshot, QueryError> {
         let budget = deadline.unwrap_or_else(|| self.default_deadline());
         let admission = self.supervisor.admit(self.clock.now());
         let (probe, attempts) = match admission {
             Admission::Deferred { retry_after } => {
                 self.publish_breaker_gauge();
-                return self.stale_serve(QueryError::Unavailable { retry_after });
+                let err = QueryError::Unavailable { retry_after };
+                return if degrade {
+                    self.stale_serve(err)
+                } else {
+                    Err(err)
+                };
             }
             Admission::Execute { probe } => {
                 let retries = if probe {
@@ -518,7 +577,12 @@ impl SystemInformation {
                     // breaker is for transient faults only.
                     self.supervisor.on_config_failure(self.clock.now(), probe);
                     self.publish_breaker_gauge();
-                    return self.stale_serve(QueryError::Provider(e));
+                    let err = QueryError::Provider(e);
+                    return if degrade {
+                        self.stale_serve(err)
+                    } else {
+                        Err(err)
+                    };
                 }
                 Err(QueryError::Provider(e)) => {
                     last_err = Some(QueryError::Provider(e));
@@ -532,7 +596,12 @@ impl SystemInformation {
         self.supervisor.on_failure(self.clock.now(), probe);
         self.publish_breaker_gauge();
         // lint:allow(unwrap) — the loop always runs at least once and only exits with last_err set
-        self.stale_serve(last_err.expect("at least one attempt ran"))
+        let err = last_err.expect("at least one attempt ran");
+        if degrade {
+            self.stale_serve(err)
+        } else {
+            Err(err)
+        }
     }
 
     /// Serve the last-known-good snapshot as a degraded answer, or

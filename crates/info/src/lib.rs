@@ -27,6 +27,12 @@
 //! * [`aggregate`] — a GIIS-style aggregate index over several services
 //!   (§3: "we can create information aggregates through reuse of
 //!   information providers to improve scalability").
+//! * [`sched`] — the adaptive refresh scheduler: a central
+//!   [`sched::RefreshScheduler`] that prefetches hot keywords just
+//!   before TTL expiry (lead time from the §6.6 performance catalog),
+//!   skips cold keywords, batches co-expiring refreshes through one
+//!   `sim::par` fan-out, parks breaker-open keywords, and evicts
+//!   misconfigured ones.
 //! * [`supervisor`] — the per-keyword fault-domain supervisor: a
 //!   Closed → Open → HalfOpen circuit breaker with non-blocking jittered
 //!   backoff, bounded in-fetch retries, and deadline budgets; failed or
@@ -39,15 +45,17 @@ pub mod config;
 pub mod entry;
 pub mod provider;
 pub mod quality;
+pub mod sched;
 pub mod schema;
 pub mod service;
 pub mod supervisor;
 
-pub use config::{ConfigEntry, ConfigError, ServiceConfig, TABLE1_TEXT};
+pub use config::{ConfigEntry, ConfigError, SchedConfig, ServiceConfig, TABLE1_TEXT};
 pub use entry::{QueryError, Snapshot, SystemInformation};
 pub use provider::{
     CommandProvider, FileProvider, FnProvider, InfoProvider, ProviderError, RuntimeProvider,
 };
 pub use quality::DegradationFn;
+pub use sched::{RefreshScheduler, TickReport, WatchError};
 pub use service::{InfoServiceError, InformationService};
 pub use supervisor::{Admission, BreakerState, Supervisor, SupervisorConfig};

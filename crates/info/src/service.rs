@@ -78,7 +78,10 @@ pub struct KeywordMetrics {
 }
 
 impl KeywordMetrics {
-    fn intern(metrics: &MetricSet, keyword: &str) -> Self {
+    /// Intern the per-keyword instruments under the standard names.
+    /// Exposed so the refresh scheduler (and tests) can wire demand
+    /// tracking to entries that are not registered in a service.
+    pub fn intern(metrics: &MetricSet, keyword: &str) -> Self {
         KeywordMetrics {
             hits: metrics.counter(&format!("info.hits.{keyword}")),
             misses: metrics.counter(&format!("info.misses.{keyword}")),

@@ -234,6 +234,31 @@ impl Supervisor {
         }
     }
 
+    /// Non-mutating admission peek for schedulers: if a fetch arriving
+    /// at `now` would be deferred, returns how long until the gate
+    /// re-opens; `None` means a fetch would be admitted.
+    ///
+    /// Unlike [`Supervisor::admit`], this never transitions the breaker
+    /// and never claims the half-open probe slot — the refresh scheduler
+    /// uses it to *park* a keyword (reschedule past the cool-down)
+    /// without racing real queries for the probe.
+    pub fn retry_hint(&self, now: SimTime) -> Option<Duration> {
+        let config = self.config.lock().clone();
+        let inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed if now < inner.not_before => Some(inner.not_before.since(now)),
+            BreakerState::Closed => None,
+            BreakerState::Open if now < inner.open_until => Some(inner.open_until.since(now)),
+            // Cool-down elapsed (or half-open with a probe in flight):
+            // leave the probe to a real query; check back in one
+            // backoff beat.
+            BreakerState::Open | BreakerState::HalfOpen if inner.probing => {
+                Some(config.backoff_base)
+            }
+            BreakerState::Open | BreakerState::HalfOpen => None,
+        }
+    }
+
     /// Record a successful provider execution: close the breaker and
     /// clear all failure state.
     pub fn on_success(&self) {

@@ -17,7 +17,7 @@ use crate::filter::Filter;
 use crate::gris::Gris;
 use infogram_gsi::Dn;
 use infogram_sim::clock::SharedClock;
-use infogram_sim::SimTime;
+use infogram_sim::timer::TimerWheel;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
@@ -50,11 +50,19 @@ impl AggregateSource {
 
 struct Member {
     source: AggregateSource,
-    fetched_at: Option<SimTime>,
     /// DNs this member contributed on its last pull, so a re-pull (or a
     /// shrinking member) replaces exactly its own entries — members may
     /// share subtrees (every GIIS roots at `/o=Grid`).
     contributed: Vec<Dn>,
+}
+
+/// The member list plus its re-pull schedule: each member always has
+/// exactly one pending [`TimerWheel`] entry (its index) due at its next
+/// TTL expiry, so a refresh round pops the due frontier instead of
+/// scanning every member for staleness.
+struct MemberTable {
+    list: Vec<Member>,
+    wheel: TimerWheel<usize>,
 }
 
 /// A virtual-organization aggregate directory.
@@ -63,7 +71,7 @@ pub struct Giis {
     cache_ttl: Duration,
     base: Dn,
     tree: DirectoryTree,
-    members: Mutex<Vec<Member>>,
+    members: Mutex<MemberTable>,
     /// Number of pulls from member GRISes (cache misses).
     pulls: std::sync::atomic::AtomicU64,
     /// Number of member pulls that failed, where the aggregate kept
@@ -89,7 +97,10 @@ impl Giis {
                 // lint:allow(unwrap) — fixed literal RDN, cannot fail validation
                 .expect("static DN"),
             tree: DirectoryTree::new(),
-            members: Mutex::new(Vec::new()),
+            members: Mutex::new(MemberTable {
+                list: Vec::new(),
+                wheel: TimerWheel::new(),
+            }),
             pulls: std::sync::atomic::AtomicU64::new(0),
             stale_pulls: std::sync::atomic::AtomicU64::new(0),
         })
@@ -105,18 +116,21 @@ impl Giis {
         self.register_source(AggregateSource::Giis(child));
     }
 
-    /// Register any aggregate source.
+    /// Register any aggregate source. The member is due for its first
+    /// pull immediately.
     pub fn register_source(&self, source: AggregateSource) {
-        self.members.lock().push(Member {
+        let mut members = self.members.lock();
+        let idx = members.list.len();
+        members.list.push(Member {
             source,
-            fetched_at: None,
             contributed: Vec::new(),
         });
+        members.wheel.schedule(self.clock.now(), idx);
     }
 
     /// Number of member GRISes.
     pub fn member_count(&self) -> usize {
-        self.members.lock().len()
+        self.members.lock().list.len()
     }
 
     /// Pulls performed so far (for the caching experiments).
@@ -136,36 +150,38 @@ impl Giis {
 
     fn refresh_expired(&self) {
         let now = self.clock.now();
-        let mut members = self.members.lock();
-        // Scatter: snapshot every stale member concurrently — one slow
+        let mut guard = self.members.lock();
+        let members = &mut *guard;
+        // The re-pull schedule is a timer wheel keyed by member index:
+        // pop the due frontier instead of scanning every member. Each
+        // popped member is rescheduled one TTL out below (on both the
+        // success and the degraded path), so every member always has
+        // exactly one pending wheel entry.
+        let mut stale: Vec<(usize, AggregateSource)> = Vec::new();
+        while let Some(due) = members.wheel.pop_due(now) {
+            let idx = due.item;
+            stale.push((idx, members.list[idx].source.clone()));
+        }
+        if stale.is_empty() {
+            return;
+        }
+        // Scatter: snapshot every due member concurrently — one slow
         // member (or a deep child GIIS) no longer serializes the whole
         // pull round. The members lock is held throughout, so concurrent
         // searches cannot double-pull; child sources lock only their own
         // state.
-        let stale: Vec<(usize, AggregateSource)> = members
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| match m.fetched_at {
-                None => true,
-                Some(t) => now.since(t) >= self.cache_ttl,
-            })
-            .map(|(i, m)| (i, m.source.clone()))
-            .collect();
-        if stale.is_empty() {
-            return;
-        }
         let snapshots = infogram_sim::par::fan_out(&stale, |_, (_, src)| src.snapshot());
         // Gather: apply tree mutations sequentially, in member order.
         for ((idx, _), snapshot) in stale.iter().zip(snapshots) {
-            let member = &mut members[*idx];
+            let member = &mut members.list[*idx];
             let entries = match snapshot {
                 Ok(entries) => entries,
                 Err(_why) => {
                     // Member fault domain: keep whatever this member
-                    // contributed last time in the tree, stamp the pull
-                    // so the member is not hammered before the TTL, and
-                    // count the degraded serve.
-                    member.fetched_at = Some(now);
+                    // contributed last time in the tree, push the next
+                    // pull a full TTL out so the member is not hammered,
+                    // and count the degraded serve.
+                    members.wheel.schedule(now.plus(self.cache_ttl), *idx);
                     self.stale_pulls
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     continue;
@@ -178,7 +194,7 @@ impl Giis {
             for e in entries {
                 self.tree.put(e);
             }
-            member.fetched_at = Some(now);
+            members.wheel.schedule(now.plus(self.cache_ttl), *idx);
             self.pulls
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }

@@ -29,6 +29,10 @@
 //! * [`par`] — the scoped, order-preserving scatter-gather fan-out used
 //!   by `(info=all)` answering, aggregate member queries, and GIIS
 //!   member pulls.
+//! * [`timer`] — a deterministic, clock-agnostic timer queue
+//!   ([`timer::TimerWheel`]) backing the adaptive refresh scheduler and
+//!   the GIIS member re-pull loop; the caller supplies `now`, so it runs
+//!   identically under both clocks and inside the model checker.
 //! * `model` (behind the `model` feature) — a CHESS/Loom-style schedule
 //!   explorer that drives small multi-threaded scenarios through every
 //!   bounded interleaving of their synchronization points, on the
@@ -43,6 +47,7 @@ pub mod model;
 pub mod net;
 pub mod par;
 pub mod rng;
+pub mod timer;
 pub mod workload;
 
 pub use clock::{Clock, ManualClock, SharedClock, SimTime, SystemClock};
@@ -51,3 +56,4 @@ pub use infogram_obs::stats;
 pub use par::{fan_out, fan_out_bounded};
 pub use rng::SplitMix64;
 pub use stats::{Summary, Welford};
+pub use timer::TimerWheel;

@@ -41,6 +41,15 @@ pub const DEFAULT_FAN_OUT: usize = 8;
 /// input order. Uses the [`DEFAULT_FAN_OUT`] parallelism bound.
 ///
 /// `f` receives `(index, &item)`. See [`fan_out_bounded`].
+///
+/// ```
+/// use infogram_sim::par::fan_out;
+///
+/// // Borrowed inputs, order-preserving outputs — no Arc plumbing.
+/// let keywords = ["Date", "Memory", "CPULoad"];
+/// let lengths = fan_out(&keywords, |i, kw| (i, kw.len()));
+/// assert_eq!(lengths, vec![(0, 4), (1, 6), (2, 7)]);
+/// ```
 pub fn fan_out<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,

@@ -7,6 +7,10 @@
 #   - e17_fault_storm (quick: 400 rounds) writes BENCH_fault_storm.json;
 #     asserts >=99% availability under a seeded 10% provider-failure
 #     storm and byte-identical replay from the seed.
+#   - e18_refresh_sched (quick: 600 rounds) writes
+#     BENCH_refresh_sched.json; asserts a >=99.9% hit rate at steady
+#     load with strictly fewer provider executions than TTL-expiry
+#     polling, cold keywords skipped, and byte-identical replay.
 #
 # Each bench asserts its own acceptance criterion and exits non-zero on
 # regression, so this doubles as a CI gate. A few seconds total.
@@ -39,4 +43,15 @@ grep -q '"pass": true' "$STORM_OUT" || {
     exit 1
 }
 
-echo "==> bench smoke ok ($OUT, $STORM_OUT)"
+SCHED_OUT="${BENCH_SCHED_OUT:-BENCH_refresh_sched.json}"
+
+echo "==> e18_refresh_sched (quick) -> $SCHED_OUT"
+E18_QUICK=1 E18_JSON="$(pwd)/$SCHED_OUT" cargo bench -q -p infogram-bench \
+    --bench e18_refresh_sched
+
+grep -q '"pass": true' "$SCHED_OUT" || {
+    echo "bench smoke FAILED: $SCHED_OUT does not report pass=true" >&2
+    exit 1
+}
+
+echo "==> bench smoke ok ($OUT, $STORM_OUT, $SCHED_OUT)"

@@ -4,6 +4,9 @@
 # - `cargo doc` with rustdoc warnings promoted to errors: catches missing
 #   docs on public items (core, info and obs build with
 #   `#![warn(missing_docs)]`) and broken intra-doc links everywhere.
+# - `cargo test --doc`: the runnable examples embedded in the API docs
+#   (e.g. `sim::par::fan_out`, `sim::timer::TimerWheel`,
+#   `info::entry::Snapshot`) must compile and pass.
 # - `cargo clippy -D warnings`: the workspace is expected to be
 #   clippy-clean.
 #
@@ -16,6 +19,9 @@ cd "$(dirname "$0")/.."
 
 echo "==> cargo doc --workspace --no-deps (warnings are errors)"
 RUSTDOCFLAGS="${RUSTDOCFLAGS:--D warnings}" cargo doc --workspace --no-deps
+
+echo "==> cargo test --workspace --doc"
+cargo test --workspace --doc -q
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

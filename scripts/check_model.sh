@@ -12,6 +12,10 @@
 #   - tests/model_fault.rs (the fault-domain supervisor: half-open
 #     probe exclusivity with a seeded check-then-act regression,
 #     breaker transitions under racing failures, stale-serve honesty)
+#   - tests/model_sched.rs (the refresh scheduler: no lost wakeups /
+#     no double-enqueue with a seeded epoch-check regression, no
+#     refresh storm under concurrent ticks, breaker-open keywords
+#     park instead of busy-looping)
 #
 # plus clippy over the `model` feature configuration, which the default
 # gate never compiles.
@@ -45,5 +49,8 @@ cargo test -p infogram --features model --test model_concurrency -q
 
 echo "==> model suite: tests/model_fault.rs (${MODE})"
 cargo test -p infogram --features model --test model_fault -q
+
+echo "==> model suite: tests/model_sched.rs (${MODE})"
+cargo test -p infogram --features model --test model_sched -q
 
 echo "==> model checking green (${MODE})"
