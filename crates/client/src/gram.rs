@@ -4,10 +4,14 @@
 //! protocol. Asynchronous job events (registered with `callback=true` at
 //! submit) may arrive interleaved with replies; they are buffered and
 //! retrievable with [`GramClient::next_event`] / [`GramClient::wait_event`].
+//! Subscription update frames (`(action=subscribe)`) interleave the same
+//! way and are buffered for [`GramClient::next_update`] /
+//! [`GramClient::wait_update`].
 
 use infogram_gsi::{
     wire_client_finish, wire_client_hello, Certificate, Credential, SecurityContext,
 };
+use infogram_proto::delta::RecordDelta;
 use infogram_proto::handle::JobHandle;
 use infogram_proto::message::{JobStateCode, Reply, Request};
 use infogram_proto::transport::{Conn, ProtoError, Transport};
@@ -45,6 +49,17 @@ pub enum ClientError {
         /// True age of the served data in seconds, if reported.
         stale_age_secs: Option<f64>,
     },
+    /// The service ended a push subscription — eviction (e.g.
+    /// [`codes::SLOW_CONSUMER`](infogram_proto::message::codes)) or a
+    /// service-side shutdown.
+    SubscriptionEnded {
+        /// The subscription the service closed.
+        id: u64,
+        /// Protocol error code explaining why (0 = clean close).
+        code: u32,
+        /// Explanation.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -63,6 +78,9 @@ impl std::fmt::Display for ClientError {
                 Some(age) => write!(f, "degraded answer: stale data aged {age:.3}s"),
                 None => write!(f, "degraded answer: stale data of unknown age"),
             },
+            ClientError::SubscriptionEnded { id, code, message } => {
+                write!(f, "subscription {id} ended (code {code}): {message}")
+            }
         }
     }
 }
@@ -81,6 +99,9 @@ pub struct GramClient {
     context: SecurityContext,
     clock: SharedClock,
     events: VecDeque<(JobHandle, JobStateCode)>,
+    /// Buffered subscription frames: `Update` batches and unsolicited
+    /// `SubEnd` evictions that arrived interleaved with replies.
+    pushes: VecDeque<Reply>,
     requests_sent: u64,
 }
 
@@ -133,6 +154,7 @@ impl GramClient {
             context,
             clock,
             events: VecDeque::new(),
+            pushes: VecDeque::new(),
             requests_sent: 0,
         })
     }
@@ -147,9 +169,20 @@ impl GramClient {
         self.requests_sent
     }
 
-    /// Issue one request, buffering any events that arrive before the
-    /// reply.
+    /// Issue one request, buffering any events or subscription frames
+    /// that arrive before the reply.
     pub fn request(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        self.request_inner(request, false)
+    }
+
+    /// `expect_subend` distinguishes the one request whose *reply* is a
+    /// `SubEnd` (unsubscribe) from an unsolicited eviction notice, which
+    /// is buffered like any push frame.
+    fn request_inner(
+        &mut self,
+        request: &Request,
+        expect_subend: bool,
+    ) -> Result<Reply, ClientError> {
         self.conn.send(&request.encode())?;
         self.requests_sent += 1;
         loop {
@@ -158,6 +191,8 @@ impl GramClient {
                 Ok(Reply::Event { handle, state }) => {
                     self.events.push_back((handle, state));
                 }
+                Ok(push @ Reply::Update { .. }) => self.pushes.push_back(push),
+                Ok(push @ Reply::SubEnd { .. }) if !expect_subend => self.pushes.push_back(push),
                 Ok(reply) => return Ok(reply),
                 Err(e) => return Err(ClientError::Protocol(e.to_string())),
             }
@@ -253,5 +288,101 @@ impl GramClient {
             ))),
             Err(e) => Err(ClientError::Protocol(e.to_string())),
         }
+    }
+
+    /// Open a persistent query over the listed keywords:
+    /// `(action=subscribe)(info=K)...`. Returns the server-assigned
+    /// subscription id and the number of keyword channels joined.
+    pub fn subscribe(&mut self, keywords: &[&str]) -> Result<(u64, u32), ClientError> {
+        let rsl: String = keywords
+            .iter()
+            .fold("(action=subscribe)".to_string(), |mut acc, k| {
+                acc.push_str(&format!("(info={k})"));
+                acc
+            });
+        match self.request(&Request::Submit {
+            rsl,
+            callback: false,
+        })? {
+            Reply::Subscribed { id, count } => Ok((id, count)),
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Close a subscription opened on this session.
+    pub fn unsubscribe(&mut self, id: u64) -> Result<(), ClientError> {
+        match self.request_inner(
+            &Request::Submit {
+                rsl: format!("(action=unsubscribe)(subscription={id})"),
+                callback: false,
+            },
+            true,
+        )? {
+            Reply::SubEnd { .. } => Ok(()),
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Pop an already-buffered update batch, if any (non-blocking). A
+    /// buffered eviction notice surfaces as
+    /// [`ClientError::SubscriptionEnded`].
+    pub fn next_update(&mut self) -> Option<Result<(u64, Vec<RecordDelta>), ClientError>> {
+        match self.pushes.pop_front() {
+            Some(Reply::Update { id, deltas }) => Some(Ok((id, deltas))),
+            Some(Reply::SubEnd { id, code, message }) => {
+                Some(Err(ClientError::SubscriptionEnded { id, code, message }))
+            }
+            Some(other) => Some(Err(ClientError::Protocol(format!(
+                "unexpected buffered frame {other:?}"
+            )))),
+            None => None,
+        }
+    }
+
+    /// Block until the next update batch arrives on any subscription.
+    /// An eviction notice surfaces as
+    /// [`ClientError::SubscriptionEnded`]; job events arriving meanwhile
+    /// are buffered as usual.
+    pub fn wait_update(&mut self) -> Result<(u64, Vec<RecordDelta>), ClientError> {
+        loop {
+            if let Some(res) = self.next_update() {
+                return res;
+            }
+            let bytes = self.conn.recv()?;
+            match Reply::decode(&bytes) {
+                Ok(push @ (Reply::Update { .. } | Reply::SubEnd { .. })) => {
+                    self.pushes.push_back(push)
+                }
+                Ok(Reply::Event { handle, state }) => self.events.push_back((handle, state)),
+                Ok(other) => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected update, got {other:?}"
+                    )))
+                }
+                Err(e) => return Err(ClientError::Protocol(e.to_string())),
+            }
+        }
+    }
+
+    /// Fault injection: drop the underlying connection so every later
+    /// operation fails with a transport error, exactly as a crashed
+    /// link would look from this side. The server observes the hangup
+    /// through its own `recv` failing. Used by reconnect tests.
+    pub fn sever(&mut self) {
+        struct Severed;
+        impl Conn for Severed {
+            fn send(&self, _msg: &[u8]) -> Result<(), ProtoError> {
+                Err(ProtoError::Closed)
+            }
+            fn recv(&self) -> Result<Vec<u8>, ProtoError> {
+                Err(ProtoError::Closed)
+            }
+            fn peer(&self) -> String {
+                "severed".to_string()
+            }
+        }
+        self.conn = Box::new(Severed);
     }
 }

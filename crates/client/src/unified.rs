@@ -6,6 +6,7 @@
 
 use crate::gram::{ClientError, GramClient};
 use infogram_gsi::{Certificate, Credential};
+use infogram_proto::delta::RecordDelta;
 use infogram_proto::handle::JobHandle;
 use infogram_proto::message::{codes, JobStateCode, Reply, Request};
 use infogram_proto::record::InfoRecord;
@@ -14,6 +15,7 @@ use infogram_proto::transport::Transport;
 use infogram_rsl::{OutputFormat, ResponseMode};
 use infogram_sim::clock::SharedClock;
 use infogram_sim::SplitMix64;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -222,10 +224,75 @@ impl ReconnectState {
     }
 }
 
+/// One delivered subscription batch, deltas already applied: the full
+/// per-keyword records as the service now sees them.
+#[derive(Debug, Clone)]
+pub struct SubUpdate {
+    /// The subscription the batch belongs to.
+    pub id: u64,
+    /// Full records after applying the deltas to the prior snapshots.
+    pub records: Vec<InfoRecord>,
+    /// The raw deltas as received (changed attributes only, unless a
+    /// full snapshot).
+    pub deltas: Vec<RecordDelta>,
+}
+
+/// Client-side state of the one tracked push subscription: per-keyword
+/// last-applied version and snapshot, for delta application and
+/// missed-update detection.
+struct SubState {
+    id: u64,
+    keywords: Vec<String>,
+    /// Lowercased keyword → (last applied version, full record).
+    snapshots: HashMap<String, (u64, InfoRecord)>,
+}
+
+impl SubState {
+    /// Apply one received batch: verify version contiguity per keyword
+    /// (the service bumps each channel's version by exactly one per
+    /// push, so `prev + 1` is the only acceptable compact successor),
+    /// then fold each delta into the running snapshot.
+    fn apply(&mut self, deltas: Vec<RecordDelta>) -> Result<SubUpdate, ClientError> {
+        let mut records = Vec::with_capacity(deltas.len());
+        for d in &deltas {
+            let key = d.keyword.to_ascii_lowercase();
+            let prev = self.snapshots.get(&key);
+            if !d.full {
+                match prev {
+                    Some((v, _)) if v + 1 == d.version => {}
+                    Some((v, _)) => {
+                        return Err(ClientError::Protocol(format!(
+                            "missed update on '{}': have version {v}, received {}",
+                            d.keyword, d.version
+                        )))
+                    }
+                    None => {
+                        return Err(ClientError::Protocol(format!(
+                            "compact delta for '{}' without a prior snapshot",
+                            d.keyword
+                        )))
+                    }
+                }
+            }
+            let rec = d
+                .apply(prev.map(|(_, r)| r))
+                .map_err(|e| ClientError::Protocol(e.to_string()))?;
+            self.snapshots.insert(key, (d.version, rec.clone()));
+            records.push(rec);
+        }
+        Ok(SubUpdate {
+            id: self.id,
+            records,
+            deltas,
+        })
+    }
+}
+
 /// One connection, both behaviours.
 pub struct InfoGramClient {
     gram: GramClient,
     reconnect: Option<ReconnectState>,
+    subscription: Option<SubState>,
 }
 
 impl std::fmt::Debug for InfoGramClient {
@@ -246,6 +313,7 @@ impl InfoGramClient {
         Ok(InfoGramClient {
             gram: GramClient::connect(transport, addr, credential, trust_roots, clock)?,
             reconnect: None,
+            subscription: None,
         })
     }
 
@@ -266,6 +334,7 @@ impl InfoGramClient {
         let rng = SplitMix64::new(policy.seed);
         Ok(InfoGramClient {
             gram,
+            subscription: None,
             reconnect: Some(ReconnectState {
                 transport,
                 addr: addr.to_string(),
@@ -282,6 +351,14 @@ impl InfoGramClient {
     /// How many times the session was transparently re-established.
     pub fn reconnect_count(&self) -> u64 {
         self.reconnect.as_ref().map_or(0, |s| s.reconnects)
+    }
+
+    /// Fault injection: drop the underlying connection so the next
+    /// operation observes a transport failure, as a crashed link
+    /// would. Reconnect tests use this to exercise the transparent
+    /// resubscribe path.
+    pub fn sever(&mut self) {
+        self.gram.sever();
     }
 
     /// Issue one request, transparently reconnecting on transport
@@ -419,6 +496,156 @@ impl InfoGramClient {
     /// answered by the built-in self-describing `Metrics:` keyword.
     pub fn metrics(&mut self) -> Result<QueryResult, ClientError> {
         self.info("metrics")
+    }
+
+    /// Open a persistent query over `keywords`
+    /// (`(action=subscribe)(info=K)...`): the service streams an
+    /// incremental delta whenever one of them refreshes (use the
+    /// virtual keyword `jobs` for job-state transitions). Returns the
+    /// server-assigned subscription id. One subscription is tracked per
+    /// client; subscribing again replaces it.
+    pub fn subscribe(&mut self, keywords: &[&str]) -> Result<u64, ClientError> {
+        if let Some(old) = self.subscription.take() {
+            // Replace: close the previous stream first (best effort —
+            // the server also reaps it at connection teardown).
+            let _ = self.gram.unsubscribe(old.id);
+        }
+        let (id, _count) = self.gram.subscribe(keywords)?;
+        self.subscription = Some(SubState {
+            id,
+            keywords: keywords.iter().map(|k| k.to_string()).collect(),
+            snapshots: HashMap::new(),
+        });
+        Ok(id)
+    }
+
+    /// Close the tracked subscription.
+    pub fn unsubscribe(&mut self) -> Result<(), ClientError> {
+        match self.subscription.take() {
+            Some(sub) => self.gram.unsubscribe(sub.id),
+            None => Ok(()),
+        }
+    }
+
+    /// The tracked subscription's server-assigned id, if one is open.
+    /// Changes when a reconnect resubscribes.
+    pub fn subscription_id(&self) -> Option<u64> {
+        self.subscription.as_ref().map(|s| s.id)
+    }
+
+    /// The last applied `(version, record)` for a subscribed keyword.
+    pub fn subscribed_snapshot(&self, keyword: &str) -> Option<(u64, InfoRecord)> {
+        self.subscription
+            .as_ref()
+            .and_then(|s| s.snapshots.get(&keyword.to_ascii_lowercase()).cloned())
+    }
+
+    /// Block until the next update batch on the tracked subscription,
+    /// with deltas applied into full records and per-keyword version
+    /// contiguity verified (a gap is a protocol error — the delivery
+    /// pipeline promises none).
+    ///
+    /// With a retry policy, a dropped connection transparently
+    /// reconnects *and resubscribes*: the fresh subscription starts
+    /// with full snapshots at the channels' current versions, so the
+    /// client observes no gap across the reconnect.
+    pub fn wait_update(&mut self) -> Result<SubUpdate, ClientError> {
+        loop {
+            if self.subscription.is_none() {
+                return Err(ClientError::Protocol(
+                    "no subscription open on this client".to_string(),
+                ));
+            }
+            match self.gram.wait_update() {
+                Ok((id, deltas)) => {
+                    // lint:allow(unwrap) — checked Some at loop entry
+                    let sub = self.subscription.as_mut().expect("subscription present");
+                    if id != sub.id {
+                        // A frame from a pre-reconnect incarnation of
+                        // the stream; the fresh full snapshot follows.
+                        continue;
+                    }
+                    return sub.apply(deltas);
+                }
+                Err(ClientError::SubscriptionEnded { id, code, message }) => {
+                    if self.subscription.as_ref().is_some_and(|s| s.id == id) {
+                        self.subscription = None;
+                    }
+                    return Err(ClientError::SubscriptionEnded { id, code, message });
+                }
+                Err(ClientError::Transport(e)) => {
+                    if self.reconnect.is_none() {
+                        return Err(ClientError::Transport(e));
+                    }
+                    self.resubscribe()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Pop an already-buffered update on the tracked subscription, if
+    /// any (non-blocking).
+    pub fn next_update(&mut self) -> Option<Result<SubUpdate, ClientError>> {
+        loop {
+            match self.gram.next_update()? {
+                Ok((id, deltas)) => {
+                    let sub = self.subscription.as_mut()?;
+                    if id != sub.id {
+                        continue;
+                    }
+                    return Some(sub.apply(deltas));
+                }
+                Err(ClientError::SubscriptionEnded { id, code, message }) => {
+                    if self.subscription.as_ref().is_some_and(|s| s.id == id) {
+                        self.subscription = None;
+                    }
+                    return Some(Err(ClientError::SubscriptionEnded { id, code, message }));
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+
+    /// Re-establish the session after a drop and re-issue the tracked
+    /// subscription. Snapshot state is cleared: the fresh stream opens
+    /// with full snapshots, so delta application restarts cleanly.
+    fn resubscribe(&mut self) -> Result<(), ClientError> {
+        // lint:allow(unwrap) — caller checked reconnect.is_some()
+        let st = self.reconnect.as_mut().expect("reconnect state present");
+        let max = st.policy.max_attempts.max(1);
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            let delay = st.backoff(attempt);
+            st.clock.sleep(delay);
+            match GramClient::connect(
+                &*st.transport,
+                &st.addr,
+                &st.credential,
+                &st.trust_roots,
+                st.clock.clone(),
+            ) {
+                Ok(gram) => {
+                    st.reconnects += 1;
+                    self.gram = gram;
+                    break;
+                }
+                Err(ClientError::Transport(_)) if attempt < max => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let keywords = match &self.subscription {
+            Some(sub) => sub.keywords.clone(),
+            None => return Ok(()),
+        };
+        let kws: Vec<&str> = keywords.iter().map(|k| k.as_str()).collect();
+        let (id, _count) = self.gram.subscribe(&kws)?;
+        // lint:allow(unwrap) — checked Some just above
+        let sub = self.subscription.as_mut().expect("subscription present");
+        sub.id = id;
+        sub.snapshots.clear();
+        Ok(())
     }
 
     /// Requests issued on this session.

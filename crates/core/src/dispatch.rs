@@ -6,15 +6,16 @@
 //! records; one carrying `(executable=...)` is a job submission; a
 //! specification with both is rejected as ambiguous.
 
-use infogram_exec::gram::{dispatch_job_request, RequestDispatcher};
+use infogram_exec::gram::{dispatch_job_request, ConnCtx, RequestDispatcher};
 use infogram_exec::JobEngine;
 use infogram_info::service::{InfoServiceError, InformationService, QueryOptions};
-use infogram_info::QueryError;
+use infogram_info::{OutboxSink, QueryError, RefreshScheduler, SubscriptionHub, JOBS_KEYWORD};
 use infogram_proto::message::{codes, Reply, Request};
 use infogram_proto::render;
-use infogram_rsl::{RequestKind, XrslRequest};
+use infogram_rsl::{RequestAction, RequestKind, XrslRequest};
 use infogram_sim::metrics::{Counter, Histogram};
 use infogram_sim::SimTime;
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Interned per-request-kind instrument handles (`dispatch.<kind>`
@@ -40,26 +41,54 @@ impl KindMetrics {
 pub struct InfoGramDispatcher {
     engine: Arc<JobEngine>,
     info: Arc<InformationService>,
+    hub: Arc<SubscriptionHub>,
+    /// Set once the service wires a refresh scheduler; subscribes then
+    /// put their keywords on the wheel so updates flow without polling.
+    sched: Mutex<Option<Arc<RefreshScheduler>>>,
     job: KindMetrics,
     status: KindMetrics,
     cancel: KindMetrics,
     ping: KindMetrics,
     info_kind: KindMetrics,
+    sub_kind: KindMetrics,
 }
 
 impl InfoGramDispatcher {
-    /// Wire a job engine and an information service together.
+    /// Wire a job engine and an information service together. Also
+    /// installs the engine-wide state-change watcher that publishes job
+    /// transitions to `(action=subscribe)(info=jobs)` subscribers.
     pub fn new(engine: Arc<JobEngine>, info: Arc<InformationService>) -> Arc<Self> {
         let t = engine.metrics().clone();
+        let hub = SubscriptionHub::new(engine.clock().clone(), info.hostname(), t.clone());
+        {
+            let hub = Arc::clone(&hub);
+            engine.on_state_change(move |handle, state| hub.notify_job(&handle, state));
+        }
         Arc::new(InfoGramDispatcher {
             job: KindMetrics::intern(&t, "job"),
             status: KindMetrics::intern(&t, "status"),
             cancel: KindMetrics::intern(&t, "cancel"),
             ping: KindMetrics::intern(&t, "ping"),
             info_kind: KindMetrics::intern(&t, "info"),
+            sub_kind: KindMetrics::intern(&t, "subscribe"),
+            hub,
+            sched: Mutex::new(None),
             engine,
             info,
         })
+    }
+
+    /// The subscription index behind `(action=subscribe)`.
+    pub fn hub(&self) -> &Arc<SubscriptionHub> {
+        &self.hub
+    }
+
+    /// Wire the refresh scheduler subscribes register their keywords
+    /// with. Without one, subscriptions still receive job-state pushes
+    /// and any refreshes driven externally, but nothing schedules
+    /// keyword refreshes on their behalf.
+    pub fn set_scheduler(&self, sched: Arc<RefreshScheduler>) {
+        *self.sched.lock() = Some(sched);
     }
 
     /// The telemetry handle shared with the engine — the WS gateway and
@@ -117,6 +146,98 @@ impl InfoGramDispatcher {
         }
     }
 
+    /// Open a persistent query: `(action=subscribe)(info=...)`.
+    fn dispatch_subscribe(
+        &self,
+        owner: &str,
+        account: &str,
+        req: &XrslRequest,
+        ctx: &mut ConnCtx,
+    ) -> Reply {
+        let Some(outbox) = ctx.outbox() else {
+            // Detached dispatch (the WS gateway, unit tests) has no push
+            // channel — a subscription would have nowhere to stream.
+            return Reply::Error {
+                code: codes::UNSUPPORTED,
+                message: "(action=subscribe) needs a connection that can carry unsolicited \
+                          frames; the WS syntax is request/response only"
+                    .to_string(),
+            };
+        };
+        let outbox = Arc::clone(outbox);
+        let sched = self.sched.lock().clone();
+        let mut keywords = Vec::with_capacity(req.info.len());
+        for sel in &req.info {
+            let k = match sel {
+                // `all`/`schema` expand to unstable keyword sets — a
+                // subscription must name what it watches so the hub can
+                // index the fan-out per keyword.
+                infogram_rsl::InfoSelector::All | infogram_rsl::InfoSelector::Schema => {
+                    return Reply::Error {
+                        code: codes::BAD_RSL,
+                        message: "(action=subscribe) takes explicit keywords; (info=all) and \
+                                  (info=schema) cannot be watched"
+                            .to_string(),
+                    }
+                }
+                infogram_rsl::InfoSelector::Keyword(k) => k,
+            };
+            if k.eq_ignore_ascii_case(JOBS_KEYWORD) {
+                keywords.push(JOBS_KEYWORD.to_string());
+                continue;
+            }
+            let Some(si) = self.info.lookup(k) else {
+                return Reply::Error {
+                    code: codes::NO_SUCH_KEYWORD,
+                    message: format!("no information provider for keyword '{k}'"),
+                };
+            };
+            // Put the keyword on the refresh wheel so updates flow
+            // without anyone polling; already-watched keywords keep
+            // their schedule and demand history. TTL-0 keywords cannot
+            // be scheduled — their subscribers only see pushes driven
+            // by external refreshes.
+            if let Some(s) = &sched {
+                if !s.is_watched(k) {
+                    let _ = s.watch(Arc::clone(&si), self.info.keyword_metrics(k));
+                }
+            }
+            keywords.push(si.keyword().to_string());
+        }
+        self.engine
+            .log_info_query(owner, account, &format!("subscribe:{}", keywords.join(",")));
+        let id = self.hub.subscribe(&keywords, OutboxSink::new(outbox));
+        ctx.sub_ids.push(id);
+        Reply::Subscribed {
+            id,
+            count: keywords.len() as u32,
+        }
+    }
+
+    /// Close a persistent query: `(action=unsubscribe)(subscription=N)`.
+    fn dispatch_unsubscribe(&self, req: &XrslRequest, ctx: &mut ConnCtx) -> Reply {
+        // The parser guarantees the tag is present for this action.
+        let id = req.subscription.unwrap_or(0);
+        // A connection may only close subscriptions it opened — ids are
+        // global, so an unchecked unsubscribe would let one client tear
+        // down another's stream.
+        let Some(pos) = ctx.sub_ids.iter().position(|s| *s == id) else {
+            return Reply::Error {
+                code: codes::NO_SUCH_JOB,
+                message: format!("no subscription {id} on this connection"),
+            };
+        };
+        ctx.sub_ids.remove(pos);
+        self.hub.unsubscribe(id);
+        // The SubEnd travels as the reply to this request, not through
+        // the sink: the stream is already quiesced by `unsubscribe`.
+        Reply::SubEnd {
+            id,
+            code: 0,
+            message: "unsubscribed".to_string(),
+        }
+    }
+
     /// Record latency and outcome for one dispatched request: the elapsed
     /// service-clock time goes into the `dispatch.<kind>` histogram and
     /// the reply bumps `dispatch.<kind>.ok` or `dispatch.<kind>.err` —
@@ -134,17 +255,10 @@ impl InfoGramDispatcher {
 }
 
 impl RequestDispatcher for InfoGramDispatcher {
-    fn dispatch(
-        &self,
-        owner: &str,
-        account: &str,
-        request: Request,
-        subscribe: &mut dyn FnMut(u64),
-    ) -> Reply {
+    fn dispatch(&self, owner: &str, account: &str, request: Request, ctx: &mut ConnCtx) -> Reply {
         let start = self.engine.clock().now();
         // Jobs, status, cancel, ping: identical to GRAM.
-        if let Some(reply) = dispatch_job_request(&self.engine, owner, account, &request, subscribe)
-        {
+        if let Some(reply) = dispatch_job_request(&self.engine, owner, account, &request, ctx) {
             let kind = match &request {
                 Request::Submit { .. } => &self.job,
                 Request::Status { .. } => &self.status,
@@ -153,8 +267,9 @@ impl RequestDispatcher for InfoGramDispatcher {
             };
             return self.observe(kind, start, reply);
         }
-        // What remains is a Submit that is an info query (or empty/bad) —
-        // everything below is accounted under `dispatch.info`.
+        // What remains is a Submit that is an info query, a subscription
+        // action, or empty/bad — everything below is accounted under
+        // `dispatch.info` or `dispatch.subscribe`.
         let Request::Submit { rsl, .. } = &request else {
             unreachable!("dispatch_job_request answers everything but info submits");
         };
@@ -171,6 +286,17 @@ impl RequestDispatcher for InfoGramDispatcher {
                 )
             }
         };
+        match req.action {
+            RequestAction::Subscribe => {
+                let reply = self.dispatch_subscribe(owner, account, &req, ctx);
+                return self.observe(&self.sub_kind, start, reply);
+            }
+            RequestAction::Unsubscribe => {
+                let reply = self.dispatch_unsubscribe(&req, ctx);
+                return self.observe(&self.sub_kind, start, reply);
+            }
+            RequestAction::None => {}
+        }
         let reply = match req.kind() {
             RequestKind::Info => self.dispatch_info(owner, account, &req),
             RequestKind::Empty => Reply::Error {
@@ -181,6 +307,13 @@ impl RequestDispatcher for InfoGramDispatcher {
             _ => unreachable!("job kinds handled earlier"),
         };
         self.observe(&self.info_kind, start, reply)
+    }
+
+    fn connection_closed(&self, ctx: &mut ConnCtx) {
+        // The peer is gone: silently release every subscription it
+        // still holds (no SubEnd — there is nobody to read it).
+        self.hub.drop_all(&ctx.sub_ids);
+        ctx.sub_ids.clear();
     }
 }
 
@@ -226,7 +359,8 @@ mod tests {
     }
 
     fn dispatch(d: &InfoGramDispatcher, req: Request) -> Reply {
-        d.dispatch("/O=Grid/CN=T", "t", req, &mut |_| {})
+        let mut ctx = ConnCtx::detached();
+        d.dispatch("/O=Grid/CN=T", "t", req, &mut ctx)
     }
 
     #[test]
@@ -382,5 +516,110 @@ mod tests {
     fn ping_answered() {
         let (_c, d) = world();
         assert_eq!(dispatch(&d, Request::Ping), Reply::Pong);
+    }
+
+    #[test]
+    fn subscribe_detached_refused() {
+        // Without an outbox (WS gateway, tests) there is no push channel.
+        let (_c, d) = world();
+        match dispatch(&d, submit("(action=subscribe)(info=cpu)")) {
+            Reply::Error { code, message } => {
+                assert_eq!(code, codes::UNSUPPORTED);
+                assert!(message.contains("subscribe"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsubscribe_unknown_id_refused() {
+        let (_c, d) = world();
+        match dispatch(&d, submit("(action=unsubscribe)(subscription=7)")) {
+            Reply::Error { code, message } => {
+                assert_eq!(code, codes::NO_SUCH_JOB);
+                assert!(message.contains("7"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    fn outbox_ctx() -> (ConnCtx, Box<dyn infogram_proto::transport::Conn>) {
+        use infogram_proto::transport::{mem::MemNetwork, Transport};
+        let net = MemNetwork::ideal();
+        let listener = net.listen("d.grid:1").unwrap();
+        let client = net.connect("d.grid:1").unwrap();
+        let server: Arc<dyn infogram_proto::transport::Conn> =
+            Arc::from(listener.accept().unwrap());
+        let outbox = infogram_proto::Outbox::new(server, 32);
+        (ConnCtx::new(outbox), client)
+    }
+
+    #[test]
+    fn subscribe_unknown_keyword_refused() {
+        let (_c, d) = world();
+        let (mut ctx, _client) = outbox_ctx();
+        match d.dispatch(
+            "/O=Grid/CN=T",
+            "t",
+            submit("(action=subscribe)(info=Bogus)"),
+            &mut ctx,
+        ) {
+            Reply::Error { code, .. } => assert_eq!(code, codes::NO_SUCH_KEYWORD),
+            other => panic!("{other:?}"),
+        }
+        assert!(ctx.sub_ids.is_empty(), "failed subscribe leaves no id");
+    }
+
+    #[test]
+    fn subscribe_then_unsubscribe_over_outbox() {
+        let (_c, d) = world();
+        let (mut ctx, _client) = outbox_ctx();
+        let id = match d.dispatch(
+            "/O=Grid/CN=T",
+            "t",
+            submit("(action=subscribe)(info=cpu)(info=jobs)"),
+            &mut ctx,
+        ) {
+            Reply::Subscribed { id, count } => {
+                assert_eq!(count, 2);
+                id
+            }
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(ctx.sub_ids, vec![id]);
+        assert_eq!(d.hub().active(), 1);
+        match d.dispatch(
+            "/O=Grid/CN=T",
+            "t",
+            submit(&format!("(action=unsubscribe)(subscription={id})")),
+            &mut ctx,
+        ) {
+            Reply::SubEnd { id: sid, code, .. } => {
+                assert_eq!(sid, id);
+                assert_eq!(code, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(ctx.sub_ids.is_empty());
+        assert_eq!(d.hub().active(), 0);
+    }
+
+    #[test]
+    fn connection_closed_releases_subscriptions() {
+        let (_c, d) = world();
+        let (mut ctx, _client) = outbox_ctx();
+        match d.dispatch(
+            "/O=Grid/CN=T",
+            "t",
+            submit("(action=subscribe)(info=jobs)"),
+            &mut ctx,
+        ) {
+            Reply::Subscribed { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(d.hub().active(), 1);
+        d.connection_closed(&mut ctx);
+        assert_eq!(d.hub().active(), 0);
+        assert!(ctx.sub_ids.is_empty());
     }
 }

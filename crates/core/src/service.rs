@@ -15,13 +15,17 @@ use infogram_gsi::{Authorizer, Certificate, Credential};
 use infogram_host::commands::CommandRegistry;
 use infogram_host::machine::SimulatedHost;
 use infogram_host::queue::BatchQueue;
-use infogram_info::config::ServiceConfig;
+use infogram_info::config::{SchedConfig, ServiceConfig};
 use infogram_info::service::InformationService;
+use infogram_info::{RefreshScheduler, SubscriptionHub, JOBS_KEYWORD};
 use infogram_proto::transport::{ProtoError, Transport};
 use infogram_sim::clock::SharedClock;
 use infogram_sim::metrics::MetricSet;
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Construction parameters for an InfoGram service.
 pub struct InfoGramParams {
@@ -49,6 +53,10 @@ pub struct InfoGramService {
     info: Arc<InformationService>,
     engine: Arc<JobEngine>,
     registry: Arc<CommandRegistry>,
+    hub: Arc<SubscriptionHub>,
+    sched: Arc<RefreshScheduler>,
+    driver_running: Arc<AtomicBool>,
+    driver: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for InfoGramService {
@@ -119,6 +127,45 @@ impl InfoGramService {
         engine.recover();
 
         let dispatcher = InfoGramDispatcher::new(Arc::clone(&engine), Arc::clone(&info));
+
+        // ---- persistent-query plumbing: scheduler + subscription hub ----
+        // The wheel starts EMPTY: keywords join it when a subscription
+        // names them (a subscription is standing demand), so a service
+        // nobody subscribes to refreshes nothing in the background and
+        // on-demand query behaviour is exactly as before.
+        let hub = Arc::clone(dispatcher.hub());
+        let sched = RefreshScheduler::new(clock.clone(), SchedConfig::default(), metrics.clone());
+        sched.set_hub(Arc::clone(&hub));
+        dispatcher.set_scheduler(Arc::clone(&sched));
+        let driver_running = Arc::new(AtomicBool::new(true));
+        let driver = {
+            let sched = Arc::clone(&sched);
+            let hub = Arc::clone(&hub);
+            let engine = Arc::clone(&engine);
+            let running = Arc::clone(&driver_running);
+            let clock = clock.clone();
+            std::thread::spawn(move || {
+                while running.load(Ordering::SeqCst) {
+                    // Job state is otherwise pulled lazily by status
+                    // queries; a `jobs` subscription is standing demand
+                    // for every transition, so poll on its behalf.
+                    if hub.has_subscribers(JOBS_KEYWORD) {
+                        engine.poll_active();
+                    }
+                    sched.tick();
+                    // Nap toward the next wheel deadline, bounded so
+                    // shutdown stays prompt and an empty wheel does not
+                    // spin.
+                    let nap = sched
+                        .next_deadline()
+                        .map(|d| d.since(clock.now()))
+                        .unwrap_or(Duration::from_millis(25));
+                    let nap = nap.clamp(Duration::from_millis(1), Duration::from_millis(25));
+                    std::thread::sleep(nap);
+                }
+            })
+        };
+
         let server = GramServer::start(
             Arc::clone(&engine),
             dispatcher,
@@ -134,6 +181,10 @@ impl InfoGramService {
             info,
             engine,
             registry,
+            hub,
+            sched,
+            driver_running,
+            driver: Mutex::new(Some(driver)),
         }))
     }
 
@@ -167,8 +218,23 @@ impl InfoGramService {
         accounting_summary(&self.engine.wal_events())
     }
 
-    /// Stop accepting connections.
+    /// The `(action=subscribe)` index: live subscription count, keyword
+    /// channel versions.
+    pub fn subscriptions(&self) -> &Arc<SubscriptionHub> {
+        &self.hub
+    }
+
+    /// The refresh scheduler driving subscribed keywords.
+    pub fn scheduler(&self) -> &Arc<RefreshScheduler> {
+        &self.sched
+    }
+
+    /// Stop accepting connections and park the refresh driver.
     pub fn shutdown(&self) {
+        self.driver_running.store(false, Ordering::SeqCst);
+        if let Some(t) = self.driver.lock().take() {
+            let _ = t.join();
+        }
         self.server.shutdown();
     }
 }

@@ -31,7 +31,7 @@
 use crate::dispatch::InfoGramDispatcher;
 use infogram_exec::gram::RequestDispatcher;
 use infogram_proto::handle::JobHandle;
-use infogram_proto::message::{JobStateCode, Reply, Request};
+use infogram_proto::message::{codes, JobStateCode, Reply, Request};
 use infogram_proto::render::xml::{escape, unescape};
 use infogram_proto::transport::{Conn, Listener, ProtoError, Transport};
 use parking_lot::Mutex;
@@ -176,6 +176,22 @@ pub fn encode_reply(reply: &Reply) -> String {
             escape(message)
         )),
         Reply::Pong => envelope("<pong/>"),
+        Reply::Subscribed { id, count } => {
+            envelope(&format!("<subscribed id=\"{id}\" count=\"{count}\"/>"))
+        }
+        Reply::SubEnd { id, code, message } => envelope(&format!(
+            "<subEnd id=\"{id}\" code=\"{code}\">{}</subEnd>",
+            escape(message)
+        )),
+        // The gateway refuses `(action=subscribe)` (its dispatch context
+        // is detached), so no Update stream can reach this encoder; the
+        // binary delta payload has no XML form, and a stray one degrades
+        // to a fault rather than a lossy imitation.
+        Reply::Update { id, .. } => envelope(&format!(
+            "<fault code=\"{}\">subscription {id} updates are not representable \
+             in the WS syntax</fault>",
+            codes::UNSUPPORTED
+        )),
     }
 }
 
@@ -226,6 +242,25 @@ pub fn decode_reply(xml: &str) -> Result<Reply, WsError> {
             handle: JobHandle::parse(&h).map_err(|e| err(&e.to_string()))?,
             state,
         });
+    }
+    if xml.contains("<subscribed") {
+        let id = tag_attr(xml, "subscribed", "id")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err("bad subscription id"))?;
+        let count = tag_attr(xml, "subscribed", "count")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err("bad subscription count"))?;
+        return Ok(Reply::Subscribed { id, count });
+    }
+    if xml.contains("<subEnd") {
+        let id = tag_attr(xml, "subEnd", "id")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err("bad subscription id"))?;
+        let code = tag_attr(xml, "subEnd", "code")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err("bad subEnd code"))?;
+        let message = tag_content(xml, "subEnd").unwrap_or_default();
+        return Ok(Reply::SubEnd { id, code, message });
     }
     if xml.contains("<fault") {
         let code = tag_attr(xml, "fault", "code")
@@ -287,16 +322,16 @@ impl WsGateway {
                 let account = account.clone();
                 let telemetry = telemetry.clone();
                 std::thread::spawn(move || {
+                    // Detached: no event callbacks and no push
+                    // subscriptions over the WS syntax.
+                    let mut ctx = infogram_exec::gram::ConnCtx::detached();
                     while let Ok(bytes) = conn.recv() {
                         telemetry.counter("ws.requests").incr();
                         let reply = match std::str::from_utf8(&bytes)
                             .map_err(|_| err("not utf-8"))
                             .and_then(decode_request)
                         {
-                            Ok(request) => {
-                                // No callback subscription over WS.
-                                dispatcher.dispatch(&owner, &account, request, &mut |_| {})
-                            }
+                            Ok(request) => dispatcher.dispatch(&owner, &account, request, &mut ctx),
                             Err(e) => Reply::Error {
                                 code: infogram_proto::message::codes::BAD_RSL,
                                 message: e.to_string(),
@@ -417,6 +452,12 @@ mod tests {
                 message: "no such keyword <X>".to_string(),
             },
             Reply::Pong,
+            Reply::Subscribed { id: 7, count: 2 },
+            Reply::SubEnd {
+                id: 7,
+                code: 36,
+                message: "subscriber fell behind".to_string(),
+            },
         ];
         for r in replies {
             let xml = encode_reply(&r);

@@ -527,6 +527,25 @@ impl JobEngine {
         })
     }
 
+    /// Refresh every non-terminal job against its backend, firing the
+    /// state watchers for any transition discovered. Job state is
+    /// otherwise pulled lazily by `status`/`cancel`; the push-
+    /// subscription driver calls this while the `jobs` channel has
+    /// subscribers, so transitions stream to them without any client
+    /// polling.
+    pub fn poll_active(&self) {
+        let ids: Vec<u64> = self
+            .jobs
+            .lock()
+            .iter()
+            .filter(|(_, e)| !e.state.is_terminal())
+            .map(|(id, _)| *id)
+            .collect();
+        for id in ids {
+            let _ = self.status(id);
+        }
+    }
+
     /// Cancel a job; false for unknown or already-terminal jobs.
     pub fn cancel(&self, job_id: u64) -> bool {
         let mut jobs = self.jobs.lock();

@@ -17,6 +17,7 @@ use crate::engine::{JobEngine, SubmitError};
 use infogram_gsi::{wire_server_respond, wire_server_verify, Authorizer, Certificate, Credential};
 use infogram_proto::message::{codes, JobStateCode, Reply, Request};
 use infogram_proto::transport::{Conn, Listener, ProtoError, Transport};
+use infogram_proto::Outbox;
 use infogram_rsl::{RequestKind, XrslRequest};
 use infogram_sim::clock::SharedClock;
 use infogram_sim::SplitMix64;
@@ -24,6 +25,65 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// How many frames a connection's outbox buffers before a push
+/// subscriber is declared a slow consumer and evicted.
+pub const DEFAULT_OUTBOX_CAPACITY: usize = 256;
+
+/// Per-connection dispatch state, owned by the connection's service loop
+/// and threaded through every [`RequestDispatcher::dispatch`] call.
+///
+/// It carries the three things a reply path may need beyond the request
+/// itself: the connection's bounded [`Outbox`] (absent for *detached*
+/// dispatch — the WS gateway and unit tests — where unsolicited pushes
+/// have nowhere to go), the job-callback map the event watcher consults,
+/// and the push-subscription ids registered over this connection so the
+/// dispatcher can drop them from the hub at teardown.
+pub struct ConnCtx {
+    outbox: Option<Arc<Outbox>>,
+    job_subs: Arc<Mutex<HashMap<u64, JobStateCode>>>,
+    /// Push-subscription ids (`(action=subscribe)`) registered over this
+    /// connection, in registration order.
+    pub sub_ids: Vec<u64>,
+}
+
+impl ConnCtx {
+    /// A context bound to a live connection's outbox.
+    pub fn new(outbox: Arc<Outbox>) -> Self {
+        ConnCtx {
+            outbox: Some(outbox),
+            job_subs: Arc::new(Mutex::new(HashMap::new())),
+            sub_ids: Vec::new(),
+        }
+    }
+
+    /// A context with no push channel: `(action=subscribe)` must be
+    /// refused, job callbacks are recorded but never delivered. Used by
+    /// the WS gateway (request/response only) and by tests.
+    pub fn detached() -> Self {
+        ConnCtx {
+            outbox: None,
+            job_subs: Arc::new(Mutex::new(HashMap::new())),
+            sub_ids: Vec::new(),
+        }
+    }
+
+    /// The connection's outbox, if this context can push unsolicited
+    /// frames.
+    pub fn outbox(&self) -> Option<&Arc<Outbox>> {
+        self.outbox.as_ref()
+    }
+
+    /// Register a job for state-change callbacks over this connection.
+    pub fn subscribe_job(&self, job_id: u64) {
+        self.job_subs.lock().insert(job_id, JobStateCode::Pending);
+    }
+
+    /// The job-callback map shared with the connection's event watcher.
+    pub fn job_subs(&self) -> Arc<Mutex<HashMap<u64, JobStateCode>>> {
+        Arc::clone(&self.job_subs)
+    }
+}
 
 /// A running GRAM (or GRAM-shaped) server.
 pub struct GramServer {
@@ -50,15 +110,15 @@ impl std::fmt::Debug for GramServer {
 /// and the InfoGram service share the gatekeeper and differ only here.
 pub trait RequestDispatcher: Send + Sync + 'static {
     /// Answer one request from an authenticated `(owner, account)` pair.
-    /// `subscribe` is invoked with the job id when the client asked for
-    /// callbacks on a submitted job.
-    fn dispatch(
-        &self,
-        owner: &str,
-        account: &str,
-        request: Request,
-        subscribe: &mut dyn FnMut(u64),
-    ) -> Reply;
+    /// `ctx` is the per-connection state: job-callback registration and
+    /// (when the transport supports pushes) the connection's outbox for
+    /// `(action=subscribe)` streams.
+    fn dispatch(&self, owner: &str, account: &str, request: Request, ctx: &mut ConnCtx) -> Reply;
+
+    /// Called exactly once when a connection's request loop exits, with
+    /// the same `ctx` every `dispatch` on that connection saw. Default:
+    /// nothing to clean up.
+    fn connection_closed(&self, _ctx: &mut ConnCtx) {}
 }
 
 /// The baseline dispatcher: jobs only, info refused.
@@ -90,7 +150,7 @@ pub fn dispatch_job_request(
     owner: &str,
     account: &str,
     request: &Request,
-    subscribe: &mut dyn FnMut(u64),
+    ctx: &mut ConnCtx,
 ) -> Option<Reply> {
     match request {
         Request::Submit { rsl, callback } => {
@@ -119,7 +179,7 @@ pub fn dispatch_job_request(
                     match engine.submit(rsl, spec, owner, account) {
                         Ok(handle) => {
                             if *callback {
-                                subscribe(handle.job_id);
+                                ctx.subscribe_job(handle.job_id);
                             }
                             Some(Reply::JobAccepted { handle })
                         }
@@ -197,14 +257,8 @@ pub fn dispatch_job_request(
 }
 
 impl RequestDispatcher for JobsOnlyDispatcher {
-    fn dispatch(
-        &self,
-        owner: &str,
-        account: &str,
-        request: Request,
-        subscribe: &mut dyn FnMut(u64),
-    ) -> Reply {
-        match dispatch_job_request(&self.engine, owner, account, &request, subscribe) {
+    fn dispatch(&self, owner: &str, account: &str, request: Request, ctx: &mut ConnCtx) -> Reply {
+        match dispatch_job_request(&self.engine, owner, account, &request, ctx) {
             Some(reply) => reply,
             None => Reply::Error {
                 code: codes::UNSUPPORTED,
@@ -353,18 +407,24 @@ impl GramServer {
         let owner = decision.grid_identity.to_string();
         let account = decision.local_account;
 
+        // ---- per-connection push state: outbox + dispatch context ----
+        // All frames the server originates after authorization — replies,
+        // job Events, subscription Updates — flow through one bounded
+        // outbox so they interleave in FIFO order on the wire and a stuck
+        // peer surfaces as backpressure instead of an unbounded buffer.
+        let outbox = Outbox::new(Arc::clone(&conn), DEFAULT_OUTBOX_CAPACITY);
+        let mut ctx = ConnCtx::new(Arc::clone(&outbox));
+
         // ---- event callbacks: watcher pushing Events over this conn ----
-        let subscriptions: Arc<Mutex<HashMap<u64, JobStateCode>>> =
-            Arc::new(Mutex::new(HashMap::new()));
         let watcher_id = {
-            let subscriptions = Arc::clone(&subscriptions);
-            let event_conn = Arc::clone(&conn);
+            let subscriptions = ctx.job_subs();
+            let event_outbox = Arc::clone(&outbox);
             self.engine.on_state_change(move |handle, state| {
                 let mut subs = subscriptions.lock();
                 if let Some(last) = subs.get_mut(&handle.job_id) {
                     if *last != state {
                         *last = state;
-                        let _ = event_conn.send(&Reply::Event { handle, state }.encode());
+                        let _ = event_outbox.send(Reply::Event { handle, state }.encode());
                     }
                 }
             })
@@ -374,21 +434,18 @@ impl GramServer {
         while let Ok(bytes) = conn.recv() {
             telemetry.counter("gram.requests").incr();
             let reply = match Request::decode(&bytes) {
-                Ok(request) => {
-                    let mut subscribe = |job_id: u64| {
-                        subscriptions.lock().insert(job_id, JobStateCode::Pending);
-                    };
-                    dispatcher.dispatch(&owner, &account, request, &mut subscribe)
-                }
+                Ok(request) => dispatcher.dispatch(&owner, &account, request, &mut ctx),
                 Err(e) => Reply::Error {
                     code: codes::BAD_RSL,
                     message: e.to_string(),
                 },
             };
-            if conn.send(&reply.encode()).is_err() {
+            if outbox.send(reply.encode()).is_err() {
                 break;
             }
         }
         self.engine.remove_watcher(watcher_id);
+        dispatcher.connection_closed(&mut ctx);
+        outbox.close();
     }
 }

@@ -38,6 +38,9 @@ pub use backend::{
     QueueBackend,
 };
 pub use engine::{EngineConfig, JobEngine, SubmitError};
-pub use gram::{dispatch_job_request, GramServer, JobsOnlyDispatcher, RequestDispatcher};
+pub use gram::{
+    dispatch_job_request, ConnCtx, GramServer, JobsOnlyDispatcher, RequestDispatcher,
+    DEFAULT_OUTBOX_CAPACITY,
+};
 pub use sandbox::{ExecMode, Jarlet, Policy, SandboxOutcome};
 pub use wal::{accounting_summary, FileWal, MemWal, RecoveredState, Wal, WalEvent, WalSink};

@@ -644,6 +644,16 @@ impl SystemInformation {
     pub fn execution_count(&self) -> u64 {
         self.executions.load(std::sync::atomic::Ordering::Relaxed)
     }
+
+    /// Number of successful cache installs so far (the `generation`
+    /// stamp bumped by every `update_state` that lands a fresh value).
+    /// The missed-update ledger in `tests/refresh_sched.rs` balances
+    /// scheduler-reported refreshes against this counter, and the push
+    /// subscription fan-out uses the same ground truth: one generation
+    /// bump ↔ one delivered update per subscriber.
+    pub fn generation(&self) -> u64 {
+        self.state.lock().generation
+    }
 }
 
 #[cfg(test)]

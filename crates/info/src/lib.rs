@@ -33,6 +33,10 @@
 //!   skips cold keywords, batches co-expiring refreshes through one
 //!   `sim::par` fan-out, parks breaker-open keywords, and evicts
 //!   misconfigured ones.
+//! * [`sub`] — the persistent-query subscription index behind
+//!   `(action=subscribe)`: per-keyword channels fan refreshed values
+//!   out to subscribers as versioned record deltas, with slow-consumer
+//!   eviction instead of unbounded buffering.
 //! * [`supervisor`] — the per-keyword fault-domain supervisor: a
 //!   Closed → Open → HalfOpen circuit breaker with non-blocking jittered
 //!   backoff, bounded in-fetch retries, and deadline budgets; failed or
@@ -48,6 +52,7 @@ pub mod quality;
 pub mod sched;
 pub mod schema;
 pub mod service;
+pub mod sub;
 pub mod supervisor;
 
 pub use config::{ConfigEntry, ConfigError, SchedConfig, ServiceConfig, TABLE1_TEXT};
@@ -58,4 +63,5 @@ pub use provider::{
 pub use quality::DegradationFn;
 pub use sched::{RefreshScheduler, TickReport, WatchError};
 pub use service::{InfoServiceError, InformationService};
+pub use sub::{OutboxSink, SinkClosed, SubSink, SubscriptionHub, JOBS_KEYWORD};
 pub use supervisor::{Admission, BreakerState, Supervisor, SupervisorConfig};

@@ -51,6 +51,7 @@
 use crate::config::SchedConfig;
 use crate::entry::{QueryError, Snapshot, SystemInformation};
 use crate::service::{InformationService, KeywordMetrics};
+use crate::sub::SubscriptionHub;
 use infogram_sim::clock::SharedClock;
 use infogram_sim::metrics::{Counter, Gauge, Histogram, MetricSet};
 use infogram_sim::timer::{Ticket, TimerWheel};
@@ -171,6 +172,11 @@ pub struct RefreshScheduler {
     metrics: MetricSet,
     telemetry: SchedTelemetry,
     state: Mutex<SchedState>,
+    /// Push-subscription fan-out target (see [`SubscriptionHub`]):
+    /// every successful refresh is forwarded here *after* the state
+    /// lock drops, and a subscribed keyword counts as standing demand
+    /// for the cold-skip gate.
+    hub: Mutex<Option<Arc<SubscriptionHub>>>,
 }
 
 impl std::fmt::Debug for RefreshScheduler {
@@ -198,6 +204,7 @@ impl RefreshScheduler {
                 tracked: BTreeMap::new(),
                 next_epoch: 0,
             }),
+            hub: Mutex::new(None),
         })
     }
 
@@ -206,9 +213,27 @@ impl RefreshScheduler {
         &self.config
     }
 
+    /// Wire a [`SubscriptionHub`]: from now on every successful refresh
+    /// fans out to the keyword's subscribers, and a keyword with live
+    /// subscribers is never cold-skipped (a subscription is standing
+    /// demand — the subscriber already asked for every future value).
+    pub fn set_hub(&self, hub: Arc<SubscriptionHub>) {
+        *self.hub.lock() = Some(hub);
+    }
+
     /// Number of keywords currently watched.
     pub fn watched(&self) -> usize {
         self.state.lock().tracked.len()
+    }
+
+    /// Whether a keyword is already on the wheel (case-insensitive).
+    /// Lets a subscribe avoid re-watching — which would reset the
+    /// keyword's schedule and demand history.
+    pub fn is_watched(&self, keyword: &str) -> bool {
+        self.state
+            .lock()
+            .tracked
+            .contains_key(&keyword.to_ascii_lowercase())
     }
 
     /// When the wheel next has work, if anything is watched.
@@ -348,6 +373,9 @@ impl RefreshScheduler {
         let now = self.clock.now();
         let mut report = TickReport::default();
         let mut batch: Vec<InFlight> = Vec::new();
+        // Snapshot the hub wiring once per tick; the scheduler's state
+        // lock is ordered strictly before the hub's (never the reverse).
+        let hub = self.hub.lock().clone();
         {
             let mut guard = self.state.lock();
             // Reborrow as a plain `&mut` so the wheel and the tracked
@@ -377,7 +405,10 @@ impl RefreshScheduler {
                 t.staleness.set(cost);
                 // Cold skip: no demand since the last visit (and the
                 // cache has been seeded) → check again one TTL out.
-                if self.config.idle_skip && t.primed && delta == Some(0) {
+                // A keyword with live push subscribers is never cold:
+                // its subscribers asked for every future value.
+                let subscribed = hub.as_ref().is_some_and(|h| h.has_subscribers(&key));
+                if self.config.idle_skip && t.primed && delta == Some(0) && !subscribed {
                     let ttl = t.si.ttl().max(self.config.min_interval);
                     t.ticket = Some(st.wheel.schedule(now.plus(ttl), key.clone()));
                     self.telemetry.skipped.incr();
@@ -418,6 +449,9 @@ impl RefreshScheduler {
                 }
             }
         }
+        // Successful refreshes bound for the subscription fan-out; the
+        // hub is notified only after the scheduler's state lock drops.
+        let mut pushed: Vec<(Arc<SystemInformation>, Snapshot)> = Vec::new();
         if !batch.is_empty() {
             self.telemetry.batch_size.record_secs(batch.len() as f64);
             // One scatter-gather over the co-due keywords; the lock is
@@ -437,6 +471,9 @@ impl RefreshScheduler {
                         self.reschedule_after_refresh(&mut st, &flight.key, &snap);
                         self.telemetry.prefetches.incr();
                         report.refreshed += 1;
+                        if hub.is_some() {
+                            pushed.push((Arc::clone(&flight.si), snap));
+                        }
                     }
                     Err(QueryError::Provider(e)) if !e.is_transient() => {
                         // Config error: evict — retrying cannot help.
@@ -469,6 +506,13 @@ impl RefreshScheduler {
                         report.parked += 1;
                     }
                 }
+            }
+        }
+        if let Some(hub) = &hub {
+            // Fan out with no scheduler lock held: a slow or deadlocked
+            // sink can cost this tick latency, never a lock cycle.
+            for (si, snap) in pushed {
+                hub.notify_refresh(&si, &snap);
             }
         }
         report.next_deadline = self.state.lock().wheel.next_deadline();

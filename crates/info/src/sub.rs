@@ -1,0 +1,635 @@
+//! The persistent-query subscription index.
+//!
+//! `(action=subscribe)` registers a query that *stays open*: instead of
+//! polling, the client receives an incremental
+//! [`RecordDelta`] whenever one of
+//! its keywords refreshes or a job changes state (the condense_db
+//! persistent-query shape — results stream in for as long as the query
+//! is registered). The [`SubscriptionHub`] is the index that makes the
+//! fan-out O(subscribers-of-this-keyword) instead of
+//! O(subscriptions × keywords): each keyword owns a channel holding its
+//! last pushed snapshot, a monotonically increasing version, and the
+//! ids subscribed to it, so a refresh diffs once, encodes once, and
+//! stamps per-subscriber frames.
+//!
+//! Delivery discipline (model-checked in `tests/model_sub.rs`):
+//!
+//! * the hub's *state* lock is **never** held across a sink delivery —
+//!   fan-out collects `(id, sink)` pairs under the lock and delivers
+//!   outside it, so a slow sink cannot deadlock the refresh scheduler;
+//!   a per-channel *delivery* lock serializes version assignment and
+//!   fan-out instead, so concurrent notifiers (and a subscriber's
+//!   initial snapshot) always reach a sink in version order;
+//! * a failed delivery evicts the subscription immediately (bounded
+//!   outboxes turn slow consumers into
+//!   [`codes::SLOW_CONSUMER`](infogram_proto::message::codes) errors,
+//!   not unbounded buffers);
+//! * every refresh bumps the keyword version by exactly one and every
+//!   live subscriber observes it — empty deltas (refresh produced an
+//!   identical record) are still delivered so the version stream stays
+//!   contiguous and a client can *prove* it missed nothing.
+//!
+//! Job-state transitions push through the same machinery under the
+//! virtual keyword [`JOBS_KEYWORD`]: each transition becomes a tiny
+//! record (`jobs:handle`, `jobs:state`), diffed and versioned like any
+//! other keyword.
+
+use crate::entry::{Snapshot, SystemInformation};
+use infogram_proto::delta::{encode_deltas, RecordDelta};
+use infogram_proto::message::{codes, update_frame, JobStateCode, Reply};
+use infogram_proto::record::InfoRecord;
+use infogram_proto::{JobHandle, Outbox, OutboxError};
+use infogram_sim::clock::SharedClock;
+use infogram_sim::metrics::{Counter, Gauge, MetricSet};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The virtual keyword job-state transitions publish under; subscribe
+/// with `(action=subscribe)(info=jobs)`.
+pub const JOBS_KEYWORD: &str = "jobs";
+
+/// A sink refused a frame: the subscription behind it must be evicted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkClosed {
+    /// A [`codes`] value explaining the eviction
+    /// ([`codes::SLOW_CONSUMER`] for outbox overflow).
+    pub code: u32,
+    /// Human-readable explanation, forwarded in the final frame.
+    pub message: String,
+}
+
+/// Where a subscription's frames go. The gatekeeper wraps each
+/// connection's bounded [`Outbox`] in
+/// one of these; tests and the bench substitute counting sinks.
+pub trait SubSink: Send + Sync {
+    /// Deliver one encoded frame. An `Err` evicts the subscription:
+    /// implementations must not block — a bounded outbox fails fast on
+    /// overflow instead of waiting for the consumer.
+    fn deliver(&self, frame: Vec<u8>) -> Result<(), SinkClosed>;
+    /// Best-effort final frame (the `SubEnd` notice) after eviction;
+    /// implementations may discard any undelivered backlog first.
+    fn close(&self, frame: Vec<u8>);
+}
+
+/// The production [`SubSink`]: frames go into the connection's bounded
+/// [`Outbox`]. A full outbox is a slow consumer — `deliver` fails with
+/// [`codes::SLOW_CONSUMER`] and the hub evicts; it never blocks the
+/// refresh scheduler behind a stuck peer.
+pub struct OutboxSink {
+    outbox: Arc<Outbox>,
+}
+
+impl OutboxSink {
+    /// Wrap a connection's outbox.
+    pub fn new(outbox: Arc<Outbox>) -> Arc<Self> {
+        Arc::new(OutboxSink { outbox })
+    }
+}
+
+impl SubSink for OutboxSink {
+    fn deliver(&self, frame: Vec<u8>) -> Result<(), SinkClosed> {
+        match self.outbox.push(frame) {
+            Ok(()) => match self.outbox.drain() {
+                Ok(_) => Ok(()),
+                Err(_) => Err(SinkClosed {
+                    code: codes::INTERNAL,
+                    message: "connection closed".to_string(),
+                }),
+            },
+            Err(OutboxError::Overflow { capacity }) => Err(SinkClosed {
+                code: codes::SLOW_CONSUMER,
+                message: format!(
+                    "subscriber fell behind: outbox full at {capacity} frames; \
+                     drain faster or subscribe to fewer keywords"
+                ),
+            }),
+            Err(OutboxError::Closed) => Err(SinkClosed {
+                code: codes::INTERNAL,
+                message: "connection closed".to_string(),
+            }),
+        }
+    }
+
+    fn close(&self, frame: Vec<u8>) {
+        self.outbox.close_with(frame);
+    }
+}
+
+struct SubEntry {
+    sink: Arc<dyn SubSink>,
+    /// Lowercased channel keys this subscription joined.
+    keywords: Vec<String>,
+}
+
+struct KeywordChannel {
+    /// Bumped by exactly one per pushed update; subscribers prove
+    /// no-missed-updates by version contiguity.
+    version: u64,
+    /// The last pushed record, the diffing baseline.
+    last: Option<InfoRecord>,
+    subscribers: Vec<u64>,
+    /// Serializes version assignment *and* fan-out for this channel —
+    /// held across delivery, while the hub's state lock is not.
+    /// Concurrent notifiers (the refresh driver, job submit threads)
+    /// would otherwise race their deliveries and a subscriber could
+    /// observe v+1 before v; a joining subscriber likewise gets its
+    /// initial snapshot onto the wire before any later version.
+    delivery: Arc<Mutex<()>>,
+}
+
+impl KeywordChannel {
+    fn new() -> Self {
+        KeywordChannel {
+            version: 0,
+            last: None,
+            subscribers: Vec::new(),
+            delivery: Arc::new(Mutex::new(())),
+        }
+    }
+}
+
+struct HubState {
+    next_id: u64,
+    subs: HashMap<u64, SubEntry>,
+    channels: HashMap<String, KeywordChannel>,
+}
+
+struct HubTelemetry {
+    active: Arc<Gauge>,
+    delivered: Arc<Counter>,
+    evicted: Arc<Counter>,
+    updates: Arc<Counter>,
+}
+
+/// The subscription index. See the [module docs](self).
+pub struct SubscriptionHub {
+    clock: SharedClock,
+    hostname: String,
+    telemetry: HubTelemetry,
+    state: Mutex<HubState>,
+}
+
+impl std::fmt::Debug for SubscriptionHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("SubscriptionHub")
+            .field("subscriptions", &st.subs.len())
+            .field("channels", &st.channels.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SubscriptionHub {
+    /// An empty hub publishing under `hostname`. `metrics` receives the
+    /// `sub.*` instruments.
+    pub fn new(clock: SharedClock, hostname: &str, metrics: MetricSet) -> Arc<Self> {
+        Arc::new(SubscriptionHub {
+            clock,
+            hostname: hostname.to_string(),
+            telemetry: HubTelemetry {
+                active: metrics.gauge("sub.active"),
+                delivered: metrics.counter("sub.delivered"),
+                evicted: metrics.counter("sub.evicted"),
+                updates: metrics.counter("sub.updates"),
+            },
+            state: Mutex::new(HubState {
+                next_id: 1,
+                subs: HashMap::new(),
+                channels: HashMap::new(),
+            }),
+        })
+    }
+
+    /// Number of live subscriptions.
+    pub fn active(&self) -> usize {
+        self.state.lock().subs.len()
+    }
+
+    /// Whether any live subscription watches `keyword` — standing
+    /// demand the refresh scheduler's cold-skip gate must honor: a
+    /// subscriber is a client that *already asked* for every future
+    /// value.
+    pub fn has_subscribers(&self, keyword: &str) -> bool {
+        let key = keyword.to_ascii_lowercase();
+        self.state
+            .lock()
+            .channels
+            .get(&key)
+            .is_some_and(|c| !c.subscribers.is_empty())
+    }
+
+    /// The current version of a keyword's channel (0 before the first
+    /// pushed update).
+    pub fn channel_version(&self, keyword: &str) -> u64 {
+        let key = keyword.to_ascii_lowercase();
+        self.state
+            .lock()
+            .channels
+            .get(&key)
+            .map_or(0, |c| c.version)
+    }
+
+    /// Register a persistent query over `keywords`, delivering to
+    /// `sink`. Returns the subscription id. Channels that already hold
+    /// a snapshot deliver it immediately as a full-snapshot delta at
+    /// the channel's current version — a resubscribing client restarts
+    /// from ground truth, so a reconnect never shows a gap.
+    pub fn subscribe(&self, keywords: &[String], sink: Arc<dyn SubSink>) -> u64 {
+        let mut keys: Vec<String> = Vec::new();
+        for kw in keywords {
+            let key = kw.to_ascii_lowercase();
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+        let id = {
+            let mut st = self.state.lock();
+            let id = st.next_id;
+            st.next_id += 1;
+            st.subs.insert(
+                id,
+                SubEntry {
+                    sink: Arc::clone(&sink),
+                    keywords: Vec::new(),
+                },
+            );
+            self.telemetry.active.set(st.subs.len() as f64);
+            id
+        };
+        // Join one channel at a time under its delivery lock: once the
+        // id is on a subscriber list, the next notify on that channel
+        // waits until the initial snapshot (if any) is on the wire, so
+        // a joiner can never see version v+1 before its snapshot at v.
+        for key in keys {
+            let delivery = {
+                let mut st = self.state.lock();
+                Arc::clone(
+                    &st.channels
+                        .entry(key.clone())
+                        .or_insert_with(KeywordChannel::new)
+                        .delivery,
+                )
+            };
+            let _order = delivery.lock();
+            let initial = {
+                let mut st = self.state.lock();
+                let st = &mut *st;
+                let Some(entry) = st.subs.get_mut(&id) else {
+                    return id; // unsubscribed/evicted mid-join
+                };
+                entry.keywords.push(key.clone());
+                // lint:allow(unwrap) — the channel was created above and
+                // channels are never removed
+                let ch = st.channels.get_mut(&key).expect("channel exists");
+                ch.subscribers.push(id);
+                ch.last
+                    .as_ref()
+                    .map(|last| RecordDelta::diff(None, last, ch.version))
+            };
+            if let Some(delta) = initial {
+                let frame = update_frame(id, &encode_deltas(std::slice::from_ref(&delta)));
+                if let Err(closed) = sink.deliver(frame) {
+                    self.evict(id, closed.code, &closed.message);
+                    return id;
+                }
+                self.telemetry.delivered.incr();
+            }
+        }
+        id
+    }
+
+    /// End a subscription cleanly. Returns whether it existed. The
+    /// `SubEnd` acknowledgement travels as the *reply* to the
+    /// unsubscribe request, not through the sink.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        let mut st = self.state.lock();
+        let existed = Self::remove_locked(&mut st, id).is_some();
+        self.telemetry.active.set(st.subs.len() as f64);
+        existed
+    }
+
+    /// Drop every subscription delivering to sinks the connection
+    /// owned (connection teardown). `ids` comes from the connection's
+    /// bookkeeping.
+    pub fn drop_all(&self, ids: &[u64]) {
+        let mut st = self.state.lock();
+        for id in ids {
+            Self::remove_locked(&mut st, *id);
+        }
+        self.telemetry.active.set(st.subs.len() as f64);
+    }
+
+    /// Evict a subscription (slow consumer, dead sink): remove it and
+    /// push a best-effort final `SubEnd` frame through the sink's
+    /// close path.
+    pub fn evict(&self, id: u64, code: u32, message: &str) {
+        let entry = {
+            let mut st = self.state.lock();
+            let e = Self::remove_locked(&mut st, id);
+            self.telemetry.active.set(st.subs.len() as f64);
+            e
+        };
+        if let Some(entry) = entry {
+            let frame = Reply::SubEnd {
+                id,
+                code,
+                message: message.to_string(),
+            }
+            .encode();
+            entry.sink.close(frame);
+            self.telemetry.evicted.incr();
+        }
+    }
+
+    fn remove_locked(st: &mut HubState, id: u64) -> Option<SubEntry> {
+        let entry = st.subs.remove(&id)?;
+        for key in &entry.keywords {
+            if let Some(ch) = st.channels.get_mut(key) {
+                ch.subscribers.retain(|s| *s != id);
+            }
+        }
+        Some(entry)
+    }
+
+    /// Push one refreshed snapshot into its keyword channel. Called by
+    /// the refresh scheduler *after* releasing its own state lock; the
+    /// hub lock is released before any sink delivery.
+    pub fn notify_refresh(&self, si: &SystemInformation, snap: &Snapshot) {
+        self.notify_record(si.keyword(), self.snapshot_record(si.keyword(), snap));
+    }
+
+    /// Push a job-state transition under the [`JOBS_KEYWORD`] channel.
+    pub fn notify_job(&self, handle: &JobHandle, state: JobStateCode) {
+        let mut rec = InfoRecord::new(JOBS_KEYWORD, &self.hostname);
+        rec.push("handle", &handle.to_string());
+        rec.push("state", &state.to_string());
+        self.notify_record(JOBS_KEYWORD, rec);
+    }
+
+    /// Core fan-out: version the channel, diff against its last
+    /// record, encode once, deliver to every subscriber. O(N) in the
+    /// channel's subscriber count; subscribers of other keywords are
+    /// never touched.
+    pub fn notify_record(&self, keyword: &str, record: InfoRecord) {
+        let key = keyword.to_ascii_lowercase();
+        let Some(delivery) = self
+            .state
+            .lock()
+            .channels
+            .get(&key)
+            .map(|c| Arc::clone(&c.delivery))
+        else {
+            return; // nobody ever subscribed; nothing to version
+        };
+        // Held across the fan-out: concurrent notifiers of this channel
+        // deliver strictly in version order (see `KeywordChannel`).
+        let _order = delivery.lock();
+        let (delta, targets) = {
+            let mut st = self.state.lock();
+            let st = &mut *st;
+            let Some(ch) = st.channels.get_mut(&key) else {
+                return; // unreachable: channels are never removed
+            };
+            ch.version += 1;
+            let delta = RecordDelta::diff(ch.last.as_ref(), &record, ch.version);
+            ch.last = Some(record);
+            let subs = &st.subs;
+            let targets: Vec<(u64, Arc<dyn SubSink>)> = ch
+                .subscribers
+                .iter()
+                .filter_map(|id| subs.get(id).map(|e| (*id, Arc::clone(&e.sink))))
+                .collect();
+            (delta, targets)
+        };
+        self.telemetry.updates.incr();
+        if targets.is_empty() {
+            return;
+        }
+        // Encode the payload once; per subscriber the frame build is a
+        // header + id stamp + memcpy.
+        let payload = encode_deltas(std::slice::from_ref(&delta));
+        let mut dead: Vec<(u64, SinkClosed)> = Vec::new();
+        for (id, sink) in targets {
+            match sink.deliver(update_frame(id, &payload)) {
+                Ok(()) => self.telemetry.delivered.incr(),
+                Err(closed) => dead.push((id, closed)),
+            }
+        }
+        for (id, closed) in dead {
+            self.evict(id, closed.code, &closed.message);
+        }
+    }
+
+    /// Convert a cache snapshot into the record pushed to subscribers.
+    /// Values carry no per-attribute age/quality annotations (they are
+    /// fresh as of the refresh; annotating with query-time age would
+    /// make every unchanged value look changed), but a stale serve
+    /// keeps its record-level degraded/stale-age marks — a degraded
+    /// value is still degraded when pushed.
+    fn snapshot_record(&self, keyword: &str, snap: &Snapshot) -> InfoRecord {
+        let mut rec = InfoRecord::new(keyword, &self.hostname);
+        if snap.stale {
+            rec.degraded = true;
+            rec.stale_age_secs = Some(self.clock.now().since(snap.produced_at).as_secs_f64());
+        }
+        for (name, value) in snap.attributes.iter() {
+            rec.push(name, value);
+        }
+        rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infogram_proto::message::codes;
+    use infogram_sim::ManualClock;
+
+    struct CollectingSink {
+        frames: Mutex<Vec<Vec<u8>>>,
+        fail_after: Option<usize>,
+        closed_with: Mutex<Option<Vec<u8>>>,
+    }
+
+    impl CollectingSink {
+        fn new() -> Arc<Self> {
+            Arc::new(CollectingSink {
+                frames: Mutex::new(Vec::new()),
+                fail_after: None,
+                closed_with: Mutex::new(None),
+            })
+        }
+
+        fn failing_after(n: usize) -> Arc<Self> {
+            Arc::new(CollectingSink {
+                frames: Mutex::new(Vec::new()),
+                fail_after: Some(n),
+                closed_with: Mutex::new(None),
+            })
+        }
+
+        fn replies(&self) -> Vec<Reply> {
+            self.frames
+                .lock()
+                .iter()
+                .map(|f| Reply::decode(f).expect("valid frame"))
+                .collect()
+        }
+    }
+
+    impl SubSink for CollectingSink {
+        fn deliver(&self, frame: Vec<u8>) -> Result<(), SinkClosed> {
+            let mut frames = self.frames.lock();
+            if self.fail_after.is_some_and(|n| frames.len() >= n) {
+                return Err(SinkClosed {
+                    code: codes::SLOW_CONSUMER,
+                    message: "scripted overflow".to_string(),
+                });
+            }
+            frames.push(frame);
+            Ok(())
+        }
+
+        fn close(&self, frame: Vec<u8>) {
+            *self.closed_with.lock() = Some(frame);
+        }
+    }
+
+    fn hub() -> Arc<SubscriptionHub> {
+        SubscriptionHub::new(ManualClock::new(), "node0.grid", MetricSet::new())
+    }
+
+    fn record(kw: &str, val: &str) -> InfoRecord {
+        let mut rec = InfoRecord::new(kw, "node0.grid");
+        rec.push("value", val);
+        rec
+    }
+
+    #[test]
+    fn fan_out_reaches_every_subscriber_with_contiguous_versions() {
+        let h = hub();
+        let sinks: Vec<_> = (0..3).map(|_| CollectingSink::new()).collect();
+        let ids: Vec<u64> = sinks
+            .iter()
+            .map(|s| h.subscribe(&["Memory".to_string()], s.clone() as Arc<dyn SubSink>))
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        for round in 0..4 {
+            h.notify_record("Memory", record("Memory", &round.to_string()));
+        }
+        for (sink, id) in sinks.iter().zip(&ids) {
+            let replies = sink.replies();
+            assert_eq!(replies.len(), 4);
+            for (i, reply) in replies.iter().enumerate() {
+                let Reply::Update { id: got, deltas } = reply else {
+                    panic!("expected update, got {reply:?}");
+                };
+                assert_eq!(got, id, "frames carry the receiver's own id");
+                assert_eq!(deltas.len(), 1);
+                assert_eq!(deltas[0].version, i as u64 + 1, "versions are contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn late_subscriber_starts_from_a_full_snapshot() {
+        let h = hub();
+        let early = CollectingSink::new();
+        h.subscribe(&["Memory".to_string()], early.clone() as Arc<dyn SubSink>);
+        h.notify_record("Memory", record("Memory", "1"));
+        h.notify_record("Memory", record("Memory", "2"));
+
+        let late = CollectingSink::new();
+        h.subscribe(&["Memory".to_string()], late.clone() as Arc<dyn SubSink>);
+        let replies = late.replies();
+        assert_eq!(replies.len(), 1, "immediate initial delivery");
+        let Reply::Update { deltas, .. } = &replies[0] else {
+            panic!("expected update");
+        };
+        assert!(deltas[0].full, "a late joiner needs no server history");
+        assert_eq!(
+            deltas[0].version, 2,
+            "initial snapshot carries the current version"
+        );
+        let rec = deltas[0].apply(None).expect("full snapshot applies bare");
+        assert_eq!(rec.get("Memory:value").map(|a| a.value.as_str()), Some("2"));
+    }
+
+    #[test]
+    fn failed_delivery_evicts_and_closes_with_subend() {
+        let h = hub();
+        let healthy = CollectingSink::new();
+        let slow = CollectingSink::failing_after(1);
+        h.subscribe(&["CPU".to_string()], healthy.clone() as Arc<dyn SubSink>);
+        let slow_id = h.subscribe(&["CPU".to_string()], slow.clone() as Arc<dyn SubSink>);
+        h.notify_record("CPU", record("CPU", "1"));
+        assert_eq!(h.active(), 2);
+        h.notify_record("CPU", record("CPU", "2"));
+        assert_eq!(h.active(), 1, "the slow consumer was evicted");
+        let closed = slow.closed_with.lock().clone().expect("close frame sent");
+        let Reply::SubEnd { id, code, .. } = Reply::decode(&closed).expect("valid") else {
+            panic!("expected SubEnd");
+        };
+        assert_eq!(id, slow_id);
+        assert_eq!(code, codes::SLOW_CONSUMER);
+        // The healthy subscriber keeps receiving.
+        h.notify_record("CPU", record("CPU", "3"));
+        assert_eq!(healthy.replies().len(), 3);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery_and_unversioned_keywords_stay_silent() {
+        let h = hub();
+        let sink = CollectingSink::new();
+        let id = h.subscribe(&["Memory".to_string()], sink.clone() as Arc<dyn SubSink>);
+        h.notify_record("Memory", record("Memory", "1"));
+        assert!(h.unsubscribe(id));
+        assert!(!h.unsubscribe(id), "second unsubscribe reports missing");
+        h.notify_record("Memory", record("Memory", "2"));
+        assert_eq!(sink.replies().len(), 1);
+        assert!(!h.has_subscribers("Memory"));
+        // A keyword nobody ever subscribed to is not even versioned.
+        h.notify_record("Ghost", record("Ghost", "1"));
+        assert_eq!(h.channel_version("Ghost"), 0);
+    }
+
+    #[test]
+    fn job_transitions_push_under_the_jobs_channel() {
+        let h = hub();
+        let sink = CollectingSink::new();
+        h.subscribe(
+            &[JOBS_KEYWORD.to_string()],
+            sink.clone() as Arc<dyn SubSink>,
+        );
+        let handle = JobHandle::new("node0.grid", 2119, 7, 1);
+        h.notify_job(&handle, JobStateCode::Active);
+        h.notify_job(&handle, JobStateCode::Done);
+        let replies = sink.replies();
+        assert_eq!(replies.len(), 2);
+        let Reply::Update { deltas, .. } = &replies[1] else {
+            panic!("expected update");
+        };
+        // Second transition: only the state attribute changed.
+        assert!(!deltas[0].full);
+        assert_eq!(deltas[0].changed.len(), 1);
+        assert_eq!(deltas[0].changed[0].name, "jobs:state");
+        assert_eq!(deltas[0].changed[0].value, "DONE");
+    }
+
+    #[test]
+    fn empty_deltas_keep_the_version_stream_contiguous() {
+        let h = hub();
+        let sink = CollectingSink::new();
+        h.subscribe(&["Memory".to_string()], sink.clone() as Arc<dyn SubSink>);
+        h.notify_record("Memory", record("Memory", "same"));
+        h.notify_record("Memory", record("Memory", "same"));
+        let replies = sink.replies();
+        assert_eq!(replies.len(), 2, "identical refreshes still deliver");
+        let Reply::Update { deltas, .. } = &replies[1] else {
+            panic!("expected update");
+        };
+        assert!(deltas[0].is_empty());
+        assert_eq!(deltas[0].version, 2);
+    }
+}

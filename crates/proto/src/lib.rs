@@ -19,6 +19,11 @@
 //! * [`render`] — LDIF, XML, and plain renderers for records (§6.6
 //!   `format` tag), including a from-scratch base64 for LDIF-unsafe
 //!   values.
+//! * [`delta`] — changed-attributes-only payloads for push
+//!   subscriptions (`(action=subscribe)`): versioned, gap-detectable,
+//!   renderer-round-trippable.
+//! * [`outbox`] — bounded per-connection frame queues with
+//!   slow-consumer eviction, the backpressure half of the push path.
 //! * [`frame`] — length-prefixed framing.
 //! * [`transport`] — the [`transport::Transport`] abstraction with an
 //!   in-memory channel network (deterministic, latency-modelled) and a
@@ -28,15 +33,19 @@
 //! `infogram-mds` — its existence *is* the baseline condition of
 //! Figures 2 and 4.
 
+pub mod delta;
 pub mod frame;
 pub mod handle;
 pub mod message;
+pub mod outbox;
 pub mod record;
 pub mod render;
 pub mod transport;
 
+pub use delta::{encode_deltas, DeltaError, RecordDelta};
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
 pub use handle::JobHandle;
 pub use message::{codes, JobStateCode, Reply, Request, WireError};
+pub use outbox::{Outbox, OutboxError};
 pub use record::{Attribute, InfoRecord};
 pub use transport::{Conn, Listener, ProtoError, Transport};

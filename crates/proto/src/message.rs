@@ -41,6 +41,11 @@ pub mod codes {
     /// `retry-after-ms=<n>` hint telling the client when the supervisor
     /// will admit another provider execution.
     pub const UNAVAILABLE: u32 = 35;
+    /// A push subscriber fell too far behind: its bounded outbox
+    /// overflowed and the service evicted the subscription rather than
+    /// buffer without bound. Carried in the final [`super::Reply::SubEnd`]
+    /// frame of the evicted subscription.
+    pub const SLOW_CONSUMER: u32 = 36;
 }
 
 /// Client → service messages.
@@ -147,7 +152,10 @@ impl std::fmt::Display for JobStateCode {
 }
 
 /// Service → client messages.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `PartialEq` only (not `Eq`): [`Reply::Update`] carries f64 quality
+/// annotations.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Reply {
     /// A job was accepted; here is its contact handle.
     JobAccepted {
@@ -188,6 +196,34 @@ pub enum Reply {
     },
     /// Liveness response.
     Pong,
+    /// A `(action=subscribe)` submit was accepted: the persistent query
+    /// is registered under `id` and will stream [`Reply::Update`]s.
+    Subscribed {
+        /// Server-assigned subscription id, scoped to the connection's
+        /// security context.
+        id: u64,
+        /// Number of keywords the subscription covers.
+        count: u32,
+    },
+    /// An asynchronous batch of record deltas for subscription `id`.
+    Update {
+        /// Which subscription this delivery belongs to.
+        id: u64,
+        /// The incremental updates (per-keyword versioned; see
+        /// [`crate::delta::RecordDelta`]).
+        deltas: Vec<crate::delta::RecordDelta>,
+    },
+    /// Subscription `id` ended. `code` 0 is a clean unsubscribe; a
+    /// [`codes`] value (notably [`codes::SLOW_CONSUMER`]) explains a
+    /// server-initiated eviction.
+    SubEnd {
+        /// Which subscription ended.
+        id: u64,
+        /// 0, or a [`codes`] value for an eviction.
+        code: u32,
+        /// Human-readable explanation.
+        message: String,
+    },
 }
 
 /// A message failed to decode.
@@ -211,12 +247,12 @@ fn err(reason: &str) -> WireError {
     }
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, WireError> {
+pub(crate) fn get_str(buf: &mut Bytes) -> Result<String, WireError> {
     if buf.remaining() < 4 {
         return Err(err("truncated string length"));
     }
@@ -342,6 +378,22 @@ impl Reply {
                 put_str(&mut buf, message);
             }
             Reply::Pong => buf.put_u8(5),
+            Reply::Subscribed { id, count } => {
+                buf.put_u8(6);
+                buf.put_u64(*id);
+                buf.put_u32(*count);
+            }
+            Reply::Update { id, deltas } => {
+                buf.put_u8(7);
+                buf.put_u64(*id);
+                buf.put_slice(&crate::delta::encode_deltas(deltas));
+            }
+            Reply::SubEnd { id, code, message } => {
+                buf.put_u8(8);
+                buf.put_u64(*id);
+                buf.put_u32(*code);
+                put_str(&mut buf, message);
+            }
         }
         buf.to_vec()
     }
@@ -416,6 +468,34 @@ impl Reply {
                 }
             }
             5 => Reply::Pong,
+            6 => {
+                if buf.remaining() < 12 {
+                    return Err(err("truncated subscription ack"));
+                }
+                Reply::Subscribed {
+                    id: buf.get_u64(),
+                    count: buf.get_u32(),
+                }
+            }
+            7 => {
+                if buf.remaining() < 8 {
+                    return Err(err("truncated update"));
+                }
+                let id = buf.get_u64();
+                let deltas =
+                    crate::delta::decode_deltas(&mut buf).map_err(|e| err(&e.to_string()))?;
+                Reply::Update { id, deltas }
+            }
+            8 => {
+                if buf.remaining() < 12 {
+                    return Err(err("truncated subscription end"));
+                }
+                Reply::SubEnd {
+                    id: buf.get_u64(),
+                    code: buf.get_u32(),
+                    message: get_str(&mut buf)?,
+                }
+            }
             other => return Err(err(&format!("unknown reply tag {other}"))),
         };
         if buf.has_remaining() {
@@ -423,6 +503,23 @@ impl Reply {
         }
         Ok(reply)
     }
+}
+
+/// Build a `Reply::Update` frame from a pre-encoded delta payload
+/// (see [`crate::delta::encode_deltas`]).
+///
+/// A refresh fan-out delivers the *same* deltas to every subscriber of
+/// a keyword, but each frame carries the receiver's own subscription
+/// id. Encoding the payload once and stamping the id per subscriber
+/// turns the per-subscriber cost into a memcpy — the difference between
+/// O(N) and O(N·record-size-diffing) at 100k subscriptions.
+pub fn update_frame(id: u64, delta_payload: &[u8]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(10 + delta_payload.len());
+    buf.put_u8(PROTOCOL_VERSION);
+    buf.put_u8(7);
+    buf.put_u64(id);
+    buf.put_slice(delta_payload);
+    buf.to_vec()
 }
 
 #[cfg(test)]
@@ -483,10 +580,81 @@ mod tests {
                 message: "no gridmap entry".to_string(),
             },
             Reply::Pong,
+            Reply::Subscribed { id: 7, count: 2 },
+            Reply::SubEnd {
+                id: 7,
+                code: codes::SLOW_CONSUMER,
+                message: "outbox overflow".to_string(),
+            },
         ];
         for r in replies {
             let decoded = Reply::decode(&r.encode()).unwrap();
             assert_eq!(decoded, r);
+        }
+    }
+
+    #[test]
+    fn update_roundtrips() {
+        let mut rec = crate::record::InfoRecord::new("Memory", "node0.grid");
+        rec.push("total", "4096");
+        let delta = crate::delta::RecordDelta::diff(None, &rec, 1);
+        let r = Reply::Update {
+            id: 42,
+            deltas: vec![delta],
+        };
+        assert_eq!(Reply::decode(&r.encode()).unwrap(), r);
+        // An empty batch is legal (version keep-alive).
+        let empty = Reply::Update {
+            id: 42,
+            deltas: vec![],
+        };
+        assert_eq!(Reply::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn update_frame_matches_reply_encoding() {
+        let mut rec = crate::record::InfoRecord::new("CPU", "node0.grid");
+        rec.push("count", "8");
+        let deltas = vec![crate::delta::RecordDelta::diff(None, &rec, 3)];
+        let payload = crate::delta::encode_deltas(&deltas);
+        for id in [0u64, 9, u64::MAX] {
+            assert_eq!(
+                update_frame(id, &payload),
+                Reply::Update {
+                    id,
+                    deltas: deltas.clone()
+                }
+                .encode(),
+                "the fast path and the structured encoder must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_subscription_frames() {
+        let mut rec = crate::record::InfoRecord::new("Memory", "node0.grid");
+        rec.push("total", "4096");
+        let frames = [
+            Reply::Subscribed { id: 1, count: 1 }.encode(),
+            Reply::Update {
+                id: 1,
+                deltas: vec![crate::delta::RecordDelta::diff(None, &rec, 1)],
+            }
+            .encode(),
+            Reply::SubEnd {
+                id: 1,
+                code: 0,
+                message: "done".to_string(),
+            }
+            .encode(),
+        ];
+        for full in frames {
+            for cut in 1..full.len() {
+                assert!(
+                    Reply::decode(&full[..cut]).is_err(),
+                    "truncation at {cut} accepted"
+                );
+            }
         }
     }
 

@@ -37,6 +37,6 @@ pub use ast::{BoolOp, RelOp, Relation, Spec, Value};
 pub use parser::{parse, ParseError};
 pub use subst::{substitute, SubstError};
 pub use xrsl::{
-    InfoSelector, JobRequest, JobType, OutputFormat, RequestKind, ResponseMode, TimeoutAction,
-    XrslError, XrslRequest,
+    InfoSelector, JobRequest, JobType, OutputFormat, RequestAction, RequestKind, ResponseMode,
+    TimeoutAction, XrslError, XrslRequest,
 };

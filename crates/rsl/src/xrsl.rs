@@ -86,6 +86,24 @@ pub enum TimeoutAction {
     Exception,
 }
 
+/// Request-level `(action=...)` verbs that change what the submit *is*,
+/// rather than what happens at a timeout: a persistent push
+/// subscription, or the release of one. (`cancel`/`exception` keep
+/// their §6.6 timeout meaning and leave this at
+/// [`RequestAction::None`].)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RequestAction {
+    /// An ordinary one-shot request.
+    #[default]
+    None,
+    /// `(action=subscribe)`: register the `(info=...)` selectors as a
+    /// persistent query; the service streams incremental updates until
+    /// unsubscribe, disconnect, or slow-consumer eviction.
+    Subscribe,
+    /// `(action=unsubscribe)(subscription=N)`: end persistent query N.
+    Unsubscribe,
+}
+
 /// How the job should be executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum JobType {
@@ -158,6 +176,12 @@ pub struct XrslRequest {
     pub timeout: Option<Duration>,
     /// What to do when the timeout fires.
     pub timeout_action: TimeoutAction,
+    /// Request-level verb: one-shot (default), subscribe, or
+    /// unsubscribe.
+    pub action: RequestAction,
+    /// The subscription id named by `(subscription=N)` (unsubscribe
+    /// only).
+    pub subscription: Option<u64>,
 }
 
 /// Every attribute name [`XrslRequest::from_spec`] understands: the
@@ -189,6 +213,7 @@ pub const KNOWN_TAGS: &[&str] = &[
     "filter",
     "timeout",
     "action",
+    "subscription",
 ];
 
 /// An xRSL-level validation failure.
@@ -457,12 +482,75 @@ impl XrslRequest {
             }
             None => None,
         };
+        let mut action = RequestAction::None;
         let timeout_action = match spec.get_literal("action") {
             Some("cancel") => TimeoutAction::Cancel,
             Some("exception") => TimeoutAction::Exception,
-            Some(other) => return Err(bad("action", other, "cancel or exception")),
+            Some("subscribe") => {
+                action = RequestAction::Subscribe;
+                TimeoutAction::default()
+            }
+            Some("unsubscribe") => {
+                action = RequestAction::Unsubscribe;
+                TimeoutAction::default()
+            }
+            Some(other) => {
+                return Err(bad(
+                    "action",
+                    other,
+                    "cancel, exception, subscribe, or unsubscribe",
+                ))
+            }
             None => TimeoutAction::default(),
         };
+        let subscription = match spec.get_literal("subscription") {
+            Some(s) => Some(
+                s.parse::<u64>()
+                    .map_err(|_| bad("subscription", s, "a subscription id"))?,
+            ),
+            None => None,
+        };
+
+        // ---- persistent-query structure rules ----
+        match action {
+            RequestAction::Subscribe => {
+                if job.is_some() {
+                    return Err(XrslError::Structure(
+                        "(action=subscribe) registers a persistent query; it cannot carry a job \
+                         half — submit the job separately"
+                            .to_string(),
+                    ));
+                }
+                if info.is_empty() {
+                    return Err(XrslError::Structure(
+                        "(action=subscribe) requires at least one (info=...) selector to watch"
+                            .to_string(),
+                    ));
+                }
+            }
+            RequestAction::Unsubscribe => {
+                if subscription.is_none() {
+                    return Err(XrslError::Structure(
+                        "(action=unsubscribe) requires (subscription=N) naming the persistent \
+                         query to end"
+                            .to_string(),
+                    ));
+                }
+                if job.is_some() || !info.is_empty() {
+                    return Err(XrslError::Structure(
+                        "(action=unsubscribe) takes only (subscription=N); drop the job/info tags"
+                            .to_string(),
+                    ));
+                }
+            }
+            RequestAction::None => {
+                if subscription.is_some() {
+                    return Err(XrslError::Structure(
+                        "(subscription=N) is only meaningful with (action=unsubscribe)".to_string(),
+                    ));
+                }
+            }
+        }
 
         let mut job = job;
         if let Some(j) = job.as_mut() {
@@ -479,6 +567,8 @@ impl XrslRequest {
             filter: spec.get_literal("filter").map(str::to_string),
             timeout,
             timeout_action,
+            action,
+            subscription,
         })
     }
 
@@ -647,6 +737,53 @@ mod tests {
     fn empty_kind() {
         let r = XrslRequest::from_text("(format=xml)").unwrap();
         assert_eq!(r.kind(), RequestKind::Empty);
+    }
+
+    #[test]
+    fn subscribe_action_parses() {
+        let r = XrslRequest::from_text("&(action=subscribe)(info=Memory)(info=cpu)").unwrap();
+        assert_eq!(r.action, RequestAction::Subscribe);
+        assert_eq!(r.kind(), RequestKind::Info);
+        assert_eq!(r.info.len(), 2);
+        assert_eq!(r.subscription, None);
+        // The timeout pair still means timeouts, not subscriptions.
+        let t = XrslRequest::from_text("(executable=c)(timeout=5)(action=cancel)").unwrap();
+        assert_eq!(t.action, RequestAction::None);
+    }
+
+    #[test]
+    fn unsubscribe_action_parses() {
+        let r = XrslRequest::from_text("&(action=unsubscribe)(subscription=42)").unwrap();
+        assert_eq!(r.action, RequestAction::Unsubscribe);
+        assert_eq!(r.subscription, Some(42));
+        assert!(matches!(
+            XrslRequest::from_text("&(action=unsubscribe)(subscription=many)"),
+            Err(XrslError::BadTag { ref tag, .. }) if tag == "subscription"
+        ));
+    }
+
+    #[test]
+    fn subscription_structure_rules() {
+        // subscribe: no job half, at least one selector.
+        assert!(matches!(
+            XrslRequest::from_text("&(action=subscribe)(executable=/bin/date)(info=cpu)"),
+            Err(XrslError::Structure(ref s)) if s.contains("job")
+        ));
+        assert!(matches!(
+            XrslRequest::from_text("&(action=subscribe)"),
+            Err(XrslError::Structure(ref s)) if s.contains("(info=")
+        ));
+        // unsubscribe: needs its id, takes nothing else.
+        assert!(matches!(
+            XrslRequest::from_text("&(action=unsubscribe)"),
+            Err(XrslError::Structure(ref s)) if s.contains("subscription")
+        ));
+        assert!(XrslRequest::from_text("&(action=unsubscribe)(subscription=1)(info=cpu)").is_err());
+        // A stray (subscription=N) on an ordinary request is a mistake.
+        assert!(matches!(
+            XrslRequest::from_text("&(info=cpu)(subscription=7)"),
+            Err(XrslError::Structure(_))
+        ));
     }
 
     #[test]

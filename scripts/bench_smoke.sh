@@ -11,6 +11,10 @@
 #     BENCH_refresh_sched.json; asserts a >=99.9% hit rate at steady
 #     load with strictly fewer provider executions than TTL-expiry
 #     polling, cold keywords skipped, and byte-identical replay.
+#   - e19_push_sub (quick: 10k subscriptions) writes
+#     BENCH_push_sub.json; asserts every subscriber receives every
+#     version of its keyword exactly once in order (zero missed
+#     updates) with bounded p99 per-subscriber fan-out cost.
 #
 # Each bench asserts its own acceptance criterion and exits non-zero on
 # regression, so this doubles as a CI gate. A few seconds total.
@@ -54,4 +58,15 @@ grep -q '"pass": true' "$SCHED_OUT" || {
     exit 1
 }
 
-echo "==> bench smoke ok ($OUT, $STORM_OUT, $SCHED_OUT)"
+SUB_OUT="${BENCH_SUB_OUT:-BENCH_push_sub.json}"
+
+echo "==> e19_push_sub (quick) -> $SUB_OUT"
+E19_QUICK=1 E19_JSON="$(pwd)/$SUB_OUT" cargo bench -q -p infogram-bench \
+    --bench e19_push_sub
+
+grep -q '"pass": true' "$SUB_OUT" || {
+    echo "bench smoke FAILED: $SUB_OUT does not report pass=true" >&2
+    exit 1
+}
+
+echo "==> bench smoke ok ($OUT, $STORM_OUT, $SCHED_OUT, $SUB_OUT)"

@@ -10,10 +10,11 @@
 #   5. scripts/check_model.sh — bounded schedule-exploration model
 #      checking of the concurrency core (seconds; EXHAUSTIVE=1 for the
 #      unbounded sweep)
-#   6. scripts/bench_smoke.sh — quick E16 + E17 + E18 runs gating on
-#      the fan-out, fault-storm and refresh-scheduler acceptance
-#      criteria (writes BENCH_parallel_fanout.json,
-#      BENCH_fault_storm.json and BENCH_refresh_sched.json)
+#   6. scripts/bench_smoke.sh — quick E16 + E17 + E18 + E19 runs
+#      gating on the fan-out, fault-storm, refresh-scheduler and
+#      push-subscription acceptance criteria (writes
+#      BENCH_parallel_fanout.json, BENCH_fault_storm.json,
+#      BENCH_refresh_sched.json and BENCH_push_sub.json)
 #   7. scripts/chaos_smoke.sh — the full sandbox under a seeded random
 #      fault storm: zero panics, bounded error rate, replayable seed
 #

@@ -16,6 +16,11 @@
 #     no double-enqueue with a seeded epoch-check regression, no
 #     refresh storm under concurrent ticks, breaker-open keywords
 #     park instead of busy-looping)
+#   - tests/model_sub.rs (the push-subscription delivery pipeline: a
+#     seeded outbox check-then-act overcommit regression, exactly-once
+#     in-order fan-out under concurrent notifies, a joiner racing a
+#     notify always starts from a snapshot, eviction under a scheduler
+#     tick never deadlocks against a joining subscriber)
 #
 # plus clippy over the `model` feature configuration, which the default
 # gate never compiles.
@@ -52,5 +57,8 @@ cargo test -p infogram --features model --test model_fault -q
 
 echo "==> model suite: tests/model_sched.rs (${MODE})"
 cargo test -p infogram --features model --test model_sched -q
+
+echo "==> model suite: tests/model_sub.rs (${MODE})"
+cargo test -p infogram --features model --test model_sub -q
 
 echo "==> model checking green (${MODE})"

@@ -61,6 +61,25 @@ pub trait Buf {
         self.get_u32() as i32
     }
 
+    /// Consume a big-endian `u64`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 8 bytes remain.
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_be_bytes(raw)
+    }
+
+    /// Consume a big-endian IEEE-754 `f64`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 8 bytes remain.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+
     /// Consume `len` bytes into an owned [`Bytes`].
     ///
     /// # Panics
@@ -90,6 +109,16 @@ pub trait BufMut {
     /// Append a big-endian `i32`.
     fn put_i32(&mut self, n: i32) {
         self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, n: u64) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Append a big-endian IEEE-754 `f64`.
+    fn put_f64(&mut self, n: f64) {
+        self.put_slice(&n.to_bits().to_be_bytes());
     }
 }
 

@@ -99,9 +99,10 @@ fn foreign_owner_denied_at_the_engine() {
     // a differently-mapped identity is representable without a second
     // gridmap entry.
     use infogram::core::InfoGramDispatcher;
-    use infogram::exec::gram::RequestDispatcher;
+    use infogram::exec::gram::{ConnCtx, RequestDispatcher};
     use infogram::proto::message::{Reply, Request};
     let sandbox = Sandbox::start();
+    let mut ctx = ConnCtx::detached();
     let dispatcher = InfoGramDispatcher::new(
         std::sync::Arc::clone(sandbox.service.engine()),
         std::sync::Arc::clone(sandbox.service.info_service()),
@@ -114,7 +115,7 @@ fn foreign_owner_denied_at_the_engine() {
             rsl: "(executable=simwork)(arguments=60000)".to_string(),
             callback: false,
         },
-        &mut |_| {},
+        &mut ctx,
     );
     let handle = match reply {
         Reply::JobAccepted { handle } => handle,
@@ -127,7 +128,7 @@ fn foreign_owner_denied_at_the_engine() {
         Request::Status {
             handle: handle.clone(),
         },
-        &mut |_| {},
+        &mut ctx,
     ) {
         Reply::Error { code, .. } => assert_eq!(code, codes::AUTHORIZATION),
         other => panic!("{other:?}"),
@@ -139,7 +140,7 @@ fn foreign_owner_denied_at_the_engine() {
         Request::Cancel {
             handle: handle.clone(),
         },
-        &mut |_| {},
+        &mut ctx,
     ) {
         Reply::Error { code, .. } => assert_eq!(code, codes::AUTHORIZATION),
         other => panic!("{other:?}"),
@@ -153,7 +154,7 @@ fn foreign_owner_denied_at_the_engine() {
         Request::Status {
             handle: handle.clone(),
         },
-        &mut |_| {},
+        &mut ctx,
     ) {
         Reply::JobStatus { state, .. } => assert_eq!(state, JobStateCode::Active),
         other => panic!("{other:?}"),
@@ -163,7 +164,7 @@ fn foreign_owner_denied_at_the_engine() {
         "/O=Grid/CN=Alice",
         "alice",
         Request::Cancel { handle },
-        &mut |_| {},
+        &mut ctx,
     ) {
         Reply::JobStatus { state, .. } => assert_eq!(state, JobStateCode::Canceled),
         other => panic!("{other:?}"),

@@ -370,3 +370,137 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Persistent-query xRSL: client-built subscribe/unsubscribe requests
+// parse back to exactly what the builder meant.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The render direction is the client's request builder (see
+    /// `GramClient::subscribe`): fold keywords into
+    /// `(action=subscribe)(info=k)…`. Parsing must recover the action
+    /// and the exact selector list, in order.
+    #[test]
+    fn subscribe_request_roundtrip(
+        keywords in prop::collection::vec("[A-Za-z][A-Za-z0-9]{0,11}", 1..6),
+    ) {
+        use infogram::rsl::xrsl::{RequestAction, XrslRequest};
+        use infogram::rsl::InfoSelector;
+        let text = keywords.iter().fold("(action=subscribe)".to_string(), |acc, k| {
+            format!("{acc}(info={k})")
+        });
+        let req = XrslRequest::from_text(&text).unwrap();
+        prop_assert_eq!(req.action, RequestAction::Subscribe);
+        prop_assert_eq!(req.subscription, None);
+        let got: Vec<String> = req
+            .info
+            .iter()
+            .map(|s| match s {
+                InfoSelector::Keyword(k) => k.clone(),
+                other => panic!("unexpected selector {other:?}"),
+            })
+            .collect();
+        prop_assert_eq!(got, keywords);
+    }
+
+    /// `(action=unsubscribe)(subscription=N)` recovers N for any id,
+    /// and rendering through the client builder is the identity.
+    #[test]
+    fn unsubscribe_request_roundtrip(id in any::<u64>()) {
+        use infogram::rsl::xrsl::{RequestAction, XrslRequest};
+        let text = format!("(action=unsubscribe)(subscription={id})");
+        let req = XrslRequest::from_text(&text).unwrap();
+        prop_assert_eq!(req.action, RequestAction::Unsubscribe);
+        prop_assert_eq!(req.subscription, Some(id));
+        prop_assert!(req.info.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Record deltas: diff → apply reproduces the new record byte for byte,
+// and batches survive the wire framing exactly.
+// ---------------------------------------------------------------------
+
+fn arb_record(keyword: &'static str) -> impl Strategy<Value = infogram::proto::record::InfoRecord> {
+    use infogram::proto::record::{Attribute, InfoRecord};
+    (
+        prop::collection::vec(
+            (
+                "[a-z]{1,6}",
+                "[ -~]{0,12}",
+                prop::option::of(0.0f64..1.0),
+                prop::option::of(0.0f64..1e6),
+            ),
+            0..6,
+        ),
+        any::<bool>(),
+        prop::option::of(0.0f64..1e6),
+    )
+        .prop_map(move |(attrs, degraded, stale_age)| {
+            let mut rec = InfoRecord::new(keyword, "node0.grid");
+            // Distinct names: a record is a map rendered in provider
+            // order, so the generator must not produce duplicates.
+            let mut seen = std::collections::HashSet::new();
+            for (name, value, quality, age) in attrs {
+                if !seen.insert(name.clone()) {
+                    continue;
+                }
+                let mut a = Attribute::new(&format!("{keyword}:{name}"), &value);
+                a.quality = quality;
+                a.age_secs = age;
+                rec.attributes.push(a);
+            }
+            rec.degraded = degraded;
+            rec.stale_age_secs = if degraded { stale_age } else { None };
+            rec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// For ANY pair of snapshots of a keyword, applying the diff to the
+    /// old record reproduces the new one exactly — attributes, order,
+    /// quality/age annotations, and the degraded/stale-age marks.
+    #[test]
+    fn delta_diff_apply_is_exact(
+        prev in arb_record("K"),
+        next in arb_record("K"),
+        version in 1u64..1_000_000,
+    ) {
+        use infogram::proto::RecordDelta;
+        let delta = RecordDelta::diff(Some(&prev), &next, version);
+        let rebuilt = delta.apply(Some(&prev)).unwrap();
+        prop_assert_eq!(rebuilt, next.clone());
+        // And a cold start (no baseline) always works via a snapshot.
+        let full = RecordDelta::diff(None, &next, version);
+        prop_assert!(full.full);
+        prop_assert_eq!(full.apply(None).unwrap(), next);
+    }
+
+    /// A delta batch encoded into an `Update` frame decodes to the
+    /// identical batch through the public wire path.
+    #[test]
+    fn delta_batch_survives_the_update_frame(
+        id in any::<u64>(),
+        pairs in prop::collection::vec((arb_record("K"), arb_record("K")), 1..5),
+        version in 1u64..1_000_000,
+    ) {
+        use infogram::proto::message::{update_frame, Reply};
+        use infogram::proto::{encode_deltas, RecordDelta};
+        let deltas: Vec<RecordDelta> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, (prev, next))| RecordDelta::diff(Some(prev), next, version + i as u64))
+            .collect();
+        let frame = update_frame(id, &encode_deltas(&deltas));
+        let Reply::Update { id: got_id, deltas: got } = Reply::decode(&frame).unwrap() else {
+            panic!("expected an update frame");
+        };
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got, deltas);
+    }
+}

@@ -267,3 +267,40 @@ fn unwatch_stops_refreshing() {
     assert_eq!(date.execution_count(), n);
     assert_eq!(sched.next_deadline(), None);
 }
+
+#[test]
+fn refresh_ledger_balances_against_cache_installs() {
+    // The missed-update ledger: every scheduler-driven refresh it
+    // reports must be accounted for by exactly one cache install — the
+    // same `generation` counter the subscription fan-out versions from.
+    // If a refresh ever completed without installing (a push the hub
+    // would never see) or installed twice (a duplicate push), the two
+    // sums would diverge. A flaky keyword rides along to prove failed
+    // refreshes land on neither side of the ledger.
+    let cfg = "100 Date date -u\n80 Memory free\n100 Flaky date -u\n";
+    let (clock, registry, info, metrics) = manual_service(cfg);
+    let plan = FaultPlan::new();
+    plan.script("date", vec![Fault::Fail, Fault::Fail]);
+    registry.set_fault_plan(plan);
+
+    let sched = scheduler(clock.clone(), metrics);
+    assert_eq!(sched.watch_service(&info), 3);
+
+    let entries = info.entries();
+    let before: u64 = entries.iter().map(|e| e.generation()).sum();
+
+    let mut reported = 0u64;
+    for _ in 0..40 {
+        clock.advance(Duration::from_millis(20));
+        while sched.next_deadline().is_some_and(|d| d <= clock.now()) {
+            reported += sched.tick().refreshed as u64;
+        }
+    }
+
+    let installed: u64 = entries.iter().map(|e| e.generation()).sum::<u64>() - before;
+    assert!(reported > 0, "the wheel actually turned");
+    assert_eq!(
+        reported, installed,
+        "every reported refresh installs exactly once ({reported} reported, {installed} installed)"
+    );
+}
