@@ -144,6 +144,9 @@ impl InfoGramService {
             let engine = Arc::clone(&engine);
             let running = Arc::clone(&driver_running);
             let clock = clock.clone();
+            // lint:allow(thread-spawn) — long-lived refresh driver, not a
+            // fan-out: it outlives any scope sim::par could provide and is
+            // joined explicitly on shutdown.
             std::thread::spawn(move || {
                 while running.load(Ordering::SeqCst) {
                     // Job state is otherwise pulled lazily by status

@@ -310,6 +310,9 @@ impl WsGateway {
         let owner = owner.to_string();
         let account = account.to_string();
         let telemetry = dispatcher.telemetry().clone();
+        // lint:allow(thread-spawn) — long-lived accept loop; joined via
+        // accept_thread on shutdown, so sim::par's scoped join is the
+        // wrong shape.
         let handle = std::thread::spawn(move || {
             while gw.running.load(Ordering::SeqCst) {
                 let Ok(conn) = gw.listener.accept() else {
@@ -321,6 +324,9 @@ impl WsGateway {
                 let owner = owner.clone();
                 let account = account.clone();
                 let telemetry = telemetry.clone();
+                // lint:allow(thread-spawn) — per-connection server thread
+                // detaches for the connection's lifetime (client-paced, no
+                // bounded join point for a scoped pool).
                 std::thread::spawn(move || {
                     // Detached: no event callbacks and no push
                     // subscriptions over the WS syntax.

@@ -16,7 +16,7 @@ use infogram_rsl::{JobRequest, JobType, TimeoutAction, XrslRequest};
 use infogram_sim::clock::SharedClock;
 use infogram_sim::metrics::MetricSet;
 use infogram_sim::SimTime;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{lock_class, Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -103,7 +103,7 @@ struct JobEntry {
     timeout_exceeded: bool,
 }
 
-type Watcher = Box<dyn Fn(JobHandle, JobStateCode) + Send + Sync>;
+type Watcher = Arc<dyn Fn(JobHandle, JobStateCode) + Send + Sync>;
 
 /// `(kind, queue name, backend)` as resolved for one submission.
 type ResolvedBackend = (BackendKind, Option<String>, Arc<dyn ExecBackend>);
@@ -163,12 +163,12 @@ impl JobEngine {
             wal,
             fork,
             jarlet: None,
-            queues: RwLock::new(HashMap::new()),
-            default_queue: RwLock::new(None),
-            jobs: Mutex::new(HashMap::new()),
-            watchers: Mutex::new(HashMap::new()),
+            queues: RwLock::with_class(HashMap::new(), lock_class!("exec.engine.queues")),
+            default_queue: RwLock::with_class(None, lock_class!("exec.engine.default_queue")),
+            jobs: Mutex::with_class(HashMap::new(), lock_class!("exec.engine.jobs")),
+            watchers: Mutex::with_class(HashMap::new(), lock_class!("exec.engine.watchers")),
             next_watcher_id: AtomicU64::new(1),
-            stdio_host: RwLock::new(None),
+            stdio_host: RwLock::with_class(None, lock_class!("exec.engine.stdio_host")),
             metrics,
         })
     }
@@ -229,7 +229,7 @@ impl JobEngine {
         watcher: impl Fn(JobHandle, JobStateCode) + Send + Sync + 'static,
     ) -> WatcherId {
         let id = self.next_watcher_id.fetch_add(1, Ordering::Relaxed);
-        self.watchers.lock().insert(id, Box::new(watcher));
+        self.watchers.lock().insert(id, Arc::new(watcher));
         id
     }
 
@@ -347,7 +347,13 @@ impl JobEngine {
     }
 
     fn notify(&self, handle: &JobHandle, state: JobStateCode) {
-        for w in self.watchers.lock().values() {
+        // Watcher callbacks reach into the subscription hub (and from
+        // there the outbox and transport), so invoking them under the
+        // watchers lock would order it against every lock those layers
+        // take — and block watcher (de)registration behind a slow
+        // subscriber. Snapshot the registry and call with nothing held.
+        let snapshot: Vec<Watcher> = self.watchers.lock().values().cloned().collect();
+        for w in snapshot {
             w(handle.clone(), state);
         }
     }
@@ -367,7 +373,18 @@ impl JobEngine {
 
     /// Drive one job's state machine from the backend's current status.
     /// Returns the (possibly new) state.
-    fn refresh(&self, job_id: u64, entry: &mut JobEntry) -> JobStateCode {
+    ///
+    /// Callers hold the `jobs` lock (they hand in `&mut JobEntry` from
+    /// the locked map), so discovered transitions are *queued* into
+    /// `pending` instead of notified inline — watcher callbacks reach
+    /// the subscription hub and the connection outbox, and must run
+    /// with the jobs lock released (DESIGN §13).
+    fn refresh(
+        &self,
+        job_id: u64,
+        entry: &mut JobEntry,
+        pending: &mut Vec<(JobHandle, JobStateCode)>,
+    ) -> JobStateCode {
         if entry.state.is_terminal() {
             return entry.state;
         }
@@ -380,7 +397,7 @@ impl JobEngine {
         if let Some(max_time) = entry.spec.max_time {
             if elapsed > max_time {
                 backend.cancel(&entry.job_ref);
-                self.finish(job_id, entry, JobStateCode::Failed, None, now);
+                self.finish(job_id, entry, JobStateCode::Failed, None, now, pending);
                 self.metrics.counter("jobs.maxtime_kills").incr();
                 return entry.state;
             }
@@ -390,7 +407,7 @@ impl JobEngine {
                 match entry.spec.timeout_action {
                     TimeoutAction::Cancel => {
                         backend.cancel(&entry.job_ref);
-                        self.finish(job_id, entry, JobStateCode::Canceled, None, now);
+                        self.finish(job_id, entry, JobStateCode::Canceled, None, now, pending);
                         self.metrics.counter("jobs.timeout_cancels").incr();
                         return entry.state;
                     }
@@ -441,7 +458,7 @@ impl JobEngine {
                     BackendStatus::Finished { exit_code } => Some(exit_code),
                     _ => None,
                 };
-                self.finish(job_id, entry, new_state, exit_code, now);
+                self.finish(job_id, entry, new_state, exit_code, now, pending);
             } else {
                 self.wal.record(&WalEvent::StateChanged {
                     job_id,
@@ -452,7 +469,7 @@ impl JobEngine {
                     "job.state",
                     &format!("job {job_id}: {old_state} -> {new_state}"),
                 );
-                self.notify(&self.handle_for(job_id), new_state);
+                pending.push((self.handle_for(job_id), new_state));
             }
         }
         entry.state
@@ -465,6 +482,7 @@ impl JobEngine {
         state: JobStateCode,
         exit_code: Option<i32>,
         now: SimTime,
+        pending: &mut Vec<(JobHandle, JobStateCode)>,
     ) {
         entry.state = state;
         entry.exit_code = exit_code;
@@ -507,24 +525,31 @@ impl JobEngine {
             "job.state",
             &format!("job {job_id}: finished {state}{exit}"),
         );
-        self.notify(&self.handle_for(job_id), state);
+        pending.push((self.handle_for(job_id), state));
     }
 
     /// Current status of a job; `None` for unknown ids.
     pub fn status(&self, job_id: u64) -> Option<JobStatusView> {
-        let mut jobs = self.jobs.lock();
-        let entry = jobs.get_mut(&job_id)?;
-        self.refresh(job_id, entry);
-        Some(JobStatusView {
-            state: entry.state,
-            exit_code: entry.exit_code,
-            output: if entry.state.is_terminal() {
-                entry.output.clone()
-            } else {
-                String::new()
-            },
-            timeout_exceeded: entry.timeout_exceeded,
-        })
+        let mut pending = Vec::new();
+        let view = (|| {
+            let mut jobs = self.jobs.lock();
+            let entry = jobs.get_mut(&job_id)?;
+            self.refresh(job_id, entry, &mut pending);
+            Some(JobStatusView {
+                state: entry.state,
+                exit_code: entry.exit_code,
+                output: if entry.state.is_terminal() {
+                    entry.output.clone()
+                } else {
+                    String::new()
+                },
+                timeout_exceeded: entry.timeout_exceeded,
+            })
+        })();
+        for (handle, state) in pending {
+            self.notify(&handle, state);
+        }
+        view
     }
 
     /// Refresh every non-terminal job against its backend, firing the
@@ -548,19 +573,35 @@ impl JobEngine {
 
     /// Cancel a job; false for unknown or already-terminal jobs.
     pub fn cancel(&self, job_id: u64) -> bool {
-        let mut jobs = self.jobs.lock();
-        let Some(entry) = jobs.get_mut(&job_id) else {
-            return false;
-        };
-        self.refresh(job_id, entry);
-        if entry.state.is_terminal() {
-            return false;
+        let mut pending = Vec::new();
+        let canceled = (|| {
+            let mut jobs = self.jobs.lock();
+            let Some(entry) = jobs.get_mut(&job_id) else {
+                return false;
+            };
+            self.refresh(job_id, entry, &mut pending);
+            if entry.state.is_terminal() {
+                return false;
+            }
+            let backend = self.backend_of(entry);
+            backend.cancel(&entry.job_ref);
+            let now = self.clock.now();
+            self.finish(
+                job_id,
+                entry,
+                JobStateCode::Canceled,
+                None,
+                now,
+                &mut pending,
+            );
+            true
+        })();
+        // A refresh can discover a terminal transition even when the
+        // cancel itself loses the race — fire whatever was queued.
+        for (handle, state) in pending {
+            self.notify(&handle, state);
         }
-        let backend = self.backend_of(entry);
-        backend.cancel(&entry.job_ref);
-        let now = self.clock.now();
-        self.finish(job_id, entry, JobStateCode::Canceled, None, now);
-        true
+        canceled
     }
 
     /// All known job ids.

@@ -21,7 +21,7 @@ use infogram_proto::Outbox;
 use infogram_rsl::{RequestKind, XrslRequest};
 use infogram_sim::clock::SharedClock;
 use infogram_sim::SplitMix64;
-use parking_lot::Mutex;
+use parking_lot::{lock_class, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -52,7 +52,14 @@ impl ConnCtx {
     pub fn new(outbox: Arc<Outbox>) -> Self {
         ConnCtx {
             outbox: Some(outbox),
-            job_subs: Arc::new(Mutex::new(HashMap::new())),
+            // Held across the outbox send in the job-event watcher so
+            // Events reach the wire in transition order — one of the two
+            // allowed holds at the `proto.outbox.send` blocking point
+            // (DESIGN §13).
+            job_subs: Arc::new(Mutex::with_class(
+                HashMap::new(),
+                lock_class!("exec.gram.job_subs"),
+            )),
             sub_ids: Vec::new(),
         }
     }
@@ -63,7 +70,10 @@ impl ConnCtx {
     pub fn detached() -> Self {
         ConnCtx {
             outbox: None,
-            job_subs: Arc::new(Mutex::new(HashMap::new())),
+            job_subs: Arc::new(Mutex::with_class(
+                HashMap::new(),
+                lock_class!("exec.gram.job_subs"),
+            )),
             sub_ids: Vec::new(),
         }
     }
@@ -298,6 +308,9 @@ impl GramServer {
         });
         let accept_server = Arc::clone(&server);
         let dispatcher = Arc::clone(&dispatcher);
+        // lint:allow(thread-spawn) — long-lived accept loop; joined via
+        // accept_thread on shutdown, so sim::par's scoped join is the
+        // wrong shape.
         let handle = std::thread::spawn(move || {
             while accept_server.running.load(Ordering::SeqCst) {
                 match accept_server.listener.accept() {
@@ -305,6 +318,9 @@ impl GramServer {
                         let conn: Arc<dyn Conn> = Arc::from(conn);
                         let server = Arc::clone(&accept_server);
                         let dispatcher = Arc::clone(&dispatcher);
+                        // lint:allow(thread-spawn) — per-connection server
+                        // thread detaches for the connection's lifetime
+                        // (client-paced, no bounded join point).
                         std::thread::spawn(move || {
                             server.serve_connection(conn, dispatcher);
                         });
@@ -420,6 +436,12 @@ impl GramServer {
             let subscriptions = ctx.job_subs();
             let event_outbox = Arc::clone(&outbox);
             self.engine.on_state_change(move |handle, state| {
+                // `job_subs` stays held across the send on purpose:
+                // dropping it first would let two racing transitions
+                // deliver their Events out of order. The outbox is
+                // bounded and fail-fast, so the hold is short — this is
+                // the `exec.gram.job_subs` exception at the
+                // `proto.outbox.send` blocking point (DESIGN §13).
                 let mut subs = subscriptions.lock();
                 if let Some(last) = subs.get_mut(&handle.job_id) {
                     if *last != state {

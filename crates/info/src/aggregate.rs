@@ -13,7 +13,7 @@ use infogram_proto::record::InfoRecord;
 use infogram_rsl::InfoSelector;
 use infogram_sim::metrics::{Counter, MetricSet};
 use infogram_sim::par;
-use parking_lot::RwLock;
+use parking_lot::{lock_class, RwLock};
 use std::sync::Arc;
 
 /// A virtual-organization-level index over member information services.
@@ -40,7 +40,7 @@ impl Aggregate {
         let fanout = metrics.counter("aggregate.fanout");
         Arc::new(Aggregate {
             name: name.to_string(),
-            members: RwLock::new(Vec::new()),
+            members: RwLock::with_class(Vec::new(), lock_class!("info.aggregate.members")),
             metrics,
             fanout,
         })

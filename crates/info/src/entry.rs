@@ -20,7 +20,7 @@ use crate::supervisor::{Admission, BreakerState, Supervisor, SupervisorConfig};
 use infogram_sim::clock::SharedClock;
 use infogram_sim::metrics::{Counter, Gauge, MetricSet};
 use infogram_sim::{SimTime, Welford};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{lock_class, Condvar, Mutex};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
@@ -196,11 +196,11 @@ impl SystemInformation {
             provider,
             clock,
             ttl,
-            delay: Mutex::new(Duration::ZERO),
+            delay: Mutex::with_class(Duration::ZERO, lock_class!("info.entry.delay")),
             degradation,
-            state: Mutex::new(EntryState::default()),
-            update_done: Condvar::new(),
-            perf: Mutex::new(Welford::new()),
+            state: Mutex::with_class(EntryState::default(), lock_class!("info.entry.state")),
+            update_done: Condvar::with_class(lock_class!("info.entry.update_done")),
+            perf: Mutex::with_class(Welford::new(), lock_class!("info.entry.perf")),
             executions: std::sync::atomic::AtomicU64::new(0),
             telemetry: OnceLock::new(),
             supervisor,
@@ -397,6 +397,10 @@ impl SystemInformation {
             drop(st);
 
             let started = self.clock.now();
+            // A provider execution is an arbitrary external command (a
+            // runtime exec in the paper); the monitor flag — not a lock
+            // — serializes updates precisely so nothing is held here.
+            infogram_sim::lockdep::blocking_point("info.provider.produce", &[]);
             let result = self.provider.produce();
             let elapsed = self.clock.now().since(started);
             self.executions

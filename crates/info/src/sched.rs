@@ -56,7 +56,7 @@ use infogram_sim::clock::SharedClock;
 use infogram_sim::metrics::{Counter, Gauge, Histogram, MetricSet};
 use infogram_sim::timer::{Ticket, TimerWheel};
 use infogram_sim::{fan_out, SimTime};
-use parking_lot::Mutex;
+use parking_lot::{lock_class, Mutex};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -199,12 +199,15 @@ impl RefreshScheduler {
             config,
             metrics,
             telemetry,
-            state: Mutex::new(SchedState {
-                wheel: TimerWheel::new(),
-                tracked: BTreeMap::new(),
-                next_epoch: 0,
-            }),
-            hub: Mutex::new(None),
+            state: Mutex::with_class(
+                SchedState {
+                    wheel: TimerWheel::new(),
+                    tracked: BTreeMap::new(),
+                    next_epoch: 0,
+                },
+                lock_class!("info.sched.state"),
+            ),
+            hub: Mutex::with_class(None, lock_class!("info.sched.hub")),
         })
     }
 

@@ -16,7 +16,7 @@ use infogram_rsl::{InfoSelector, ResponseMode};
 use infogram_sim::clock::SharedClock;
 use infogram_sim::metrics::{Counter, Gauge, Histogram, MetricSet};
 use infogram_sim::par;
-use parking_lot::RwLock;
+use parking_lot::{lock_class, RwLock};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -151,7 +151,10 @@ impl InformationService {
         Arc::new(InformationService {
             hostname: hostname.to_string(),
             clock,
-            entries: RwLock::new(Arc::new(BTreeMap::new())),
+            entries: RwLock::with_class(
+                Arc::new(BTreeMap::new()),
+                lock_class!("info.service.registry"),
+            ),
             metrics,
             svc_metrics,
         })

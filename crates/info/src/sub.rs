@@ -41,7 +41,7 @@ use infogram_proto::record::InfoRecord;
 use infogram_proto::{JobHandle, Outbox, OutboxError};
 use infogram_sim::clock::SharedClock;
 use infogram_sim::metrics::{Counter, Gauge, MetricSet};
-use parking_lot::Mutex;
+use parking_lot::{lock_class, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -144,7 +144,10 @@ impl KeywordChannel {
             version: 0,
             last: None,
             subscribers: Vec::new(),
-            delivery: Arc::new(Mutex::new(())),
+            // Every per-keyword delivery lock shares one lockdep class:
+            // instances are never nested, and the class orders against
+            // the hub state lock (delivery first — DESIGN §13).
+            delivery: Arc::new(Mutex::with_class((), lock_class!("info.sub.delivery"))),
         }
     }
 }
@@ -193,11 +196,14 @@ impl SubscriptionHub {
                 evicted: metrics.counter("sub.evicted"),
                 updates: metrics.counter("sub.updates"),
             },
-            state: Mutex::new(HubState {
-                next_id: 1,
-                subs: HashMap::new(),
-                channels: HashMap::new(),
-            }),
+            state: Mutex::with_class(
+                HubState {
+                    next_id: 1,
+                    subs: HashMap::new(),
+                    channels: HashMap::new(),
+                },
+                lock_class!("info.sub.hub_state"),
+            ),
         })
     }
 
@@ -418,6 +424,22 @@ impl SubscriptionHub {
         }
         for (id, closed) in dead {
             self.evict(id, closed.code, &closed.message);
+        }
+    }
+
+    /// Seeded lock-order regression for `tests/lockdep.rs`: acquire a
+    /// channel's delivery lock *while holding* the hub state lock — the
+    /// reverse of every real path (delivery first, then state; DESIGN
+    /// §13). Single-threaded and contention-free, so nothing hangs; the
+    /// point is that `sim::lockdep` must still report the inversion.
+    /// Never called by service code.
+    #[doc(hidden)]
+    pub fn debug_acquire_in_reverse_order(&self, keyword: &str) {
+        let key = keyword.to_ascii_lowercase();
+        let st = self.state.lock();
+        if let Some(ch) = st.channels.get(&key) {
+            let delivery = Arc::clone(&ch.delivery);
+            let _order = delivery.lock(); // hub state still held: inversion
         }
     }
 

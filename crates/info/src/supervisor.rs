@@ -39,7 +39,7 @@
 //! [`SystemInformation`]: crate::entry::SystemInformation
 
 use infogram_sim::{SimTime, SplitMix64};
-use parking_lot::Mutex;
+use parking_lot::{lock_class, Mutex};
 use std::time::Duration;
 
 /// Breaker position of one keyword's fault domain.
@@ -162,16 +162,22 @@ impl Supervisor {
     pub fn new(keyword: &str, config: SupervisorConfig) -> Self {
         let open_len = config.open_for;
         Supervisor {
-            config: Mutex::new(config),
-            inner: Mutex::new(Inner {
-                state: BreakerState::Closed,
-                streak: 0,
-                open_until: SimTime::ZERO,
-                open_len,
-                not_before: SimTime::ZERO,
-                probing: false,
-            }),
-            rng: Mutex::new(SplitMix64::new(fnv1a(keyword) ^ 0x5afe_b0ff)),
+            config: Mutex::with_class(config, lock_class!("info.supervisor.config")),
+            inner: Mutex::with_class(
+                Inner {
+                    state: BreakerState::Closed,
+                    streak: 0,
+                    open_until: SimTime::ZERO,
+                    open_len,
+                    not_before: SimTime::ZERO,
+                    probing: false,
+                },
+                lock_class!("info.supervisor.inner"),
+            ),
+            rng: Mutex::with_class(
+                SplitMix64::new(fnv1a(keyword) ^ 0x5afe_b0ff),
+                lock_class!("info.supervisor.rng"),
+            ),
         }
     }
 

@@ -25,6 +25,12 @@
 //!   files) must parse: numeric TTL, unique keyword, non-empty command,
 //!   known directives. Checked statically with the real
 //!   [`ServiceConfig`] parser.
+//! * **`thread-spawn`** — raw `std::thread::spawn` in library crates
+//!   outside `crates/sim`. Ad-hoc threads dodge the `sim::par` scoped
+//!   pool (bounded fan-out, panic propagation) and the lockdep /
+//!   model-checker instrumentation that rides on it; service code should
+//!   fan out through `sim::par` or justify the long-lived thread with a
+//!   suppression.
 //!
 //! The linter is deliberately token-oriented: it masks comments and string
 //! literals with a tiny lexer and then pattern-matches lines, which keeps
@@ -61,6 +67,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "config-table",
         "malformed TTL/Keyword/Command config table (Table 1 triples)",
+    ),
+    (
+        "thread-spawn",
+        "raw std::thread::spawn outside crates/sim — use sim::par or justify",
     ),
 ];
 
@@ -272,6 +282,19 @@ pub fn lint_rust_file(rel: &Path, src: &str) -> Vec<Finding> {
                     "`.expect(...)` in library code; return a structured error".to_string(),
                 );
             }
+        }
+
+        // thread-spawn: library crates except crates/sim (which owns the
+        // scoped pool and the deterministic thread wrappers). Tests,
+        // benches, and bins spin up scaffolding threads freely.
+        if lib_crate.is_some_and(|c| c != "sim") && !test_line && line.contains("thread::spawn") {
+            push(
+                i,
+                "thread-spawn",
+                "raw `thread::spawn` bypasses sim::par (bounded fan-out, panic \
+                 propagation, lockdep); use the scoped pool or justify the thread"
+                    .to_string(),
+            );
         }
 
         // print: library crates except the bench report harness.
@@ -602,6 +625,31 @@ mod tests {
             lint("crates/lint/src/main.rs", src).is_empty(),
             "bins may print"
         );
+    }
+
+    #[test]
+    fn thread_spawn_flagged_outside_sim() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        let f = lint("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "thread-spawn");
+        // The sim crate implements the thread wrappers themselves.
+        assert!(lint("crates/sim/src/par.rs", src).is_empty());
+        // Harness and bin code spin up scaffolding threads freely.
+        assert!(lint("tests/integration.rs", src).is_empty());
+        assert!(lint("crates/bench/src/mixed.rs", src).is_empty());
+        assert!(lint("crates/lint/src/main.rs", src).is_empty());
+        // Unit-test modules inside a library file are exempt too.
+        let with_tests =
+            "fn f() -> u8 { 0 }\n#[cfg(test)]\nmod tests {\n    fn g() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(lint("crates/core/src/x.rs", with_tests).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_suppression_carries_reason() {
+        let src = "// lint:allow(thread-spawn) — long-lived acceptor loop\n\
+                   fn f() { std::thread::spawn(|| {}); }\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::gris::Gris;
 use infogram_gsi::Dn;
 use infogram_sim::clock::SharedClock;
 use infogram_sim::timer::TimerWheel;
-use parking_lot::Mutex;
+use parking_lot::{lock_class, Mutex};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -97,10 +97,13 @@ impl Giis {
                 // lint:allow(unwrap) — fixed literal RDN, cannot fail validation
                 .expect("static DN"),
             tree: DirectoryTree::new(),
-            members: Mutex::new(MemberTable {
-                list: Vec::new(),
-                wheel: TimerWheel::new(),
-            }),
+            members: Mutex::with_class(
+                MemberTable {
+                    list: Vec::new(),
+                    wheel: TimerWheel::new(),
+                },
+                lock_class!("mds.giis.members"),
+            ),
             pulls: std::sync::atomic::AtomicU64::new(0),
             stale_pulls: std::sync::atomic::AtomicU64::new(0),
         })
@@ -150,28 +153,37 @@ impl Giis {
 
     fn refresh_expired(&self) {
         let now = self.clock.now();
-        let mut guard = self.members.lock();
-        let members = &mut *guard;
         // The re-pull schedule is a timer wheel keyed by member index:
         // pop the due frontier instead of scanning every member. Each
         // popped member is rescheduled one TTL out below (on both the
         // success and the degraded path), so every member always has
-        // exactly one pending wheel entry.
+        // exactly one pending wheel entry. Popping under the lock is
+        // also the no-double-pull guarantee: a concurrent search finds
+        // the wheel already drained and pulls nothing.
         let mut stale: Vec<(usize, AggregateSource)> = Vec::new();
-        while let Some(due) = members.wheel.pop_due(now) {
-            let idx = due.item;
-            stale.push((idx, members.list[idx].source.clone()));
+        {
+            let mut members = self.members.lock();
+            while let Some(due) = members.wheel.pop_due(now) {
+                let idx = due.item;
+                stale.push((idx, members.list[idx].source.clone()));
+            }
         }
         if stale.is_empty() {
             return;
         }
         // Scatter: snapshot every due member concurrently — one slow
         // member (or a deep child GIIS) no longer serializes the whole
-        // pull round. The members lock is held throughout, so concurrent
-        // searches cannot double-pull; child sources lock only their own
-        // state.
+        // pull round. The members lock is NOT held here: member pulls
+        // execute providers and can block for a long time, and holding
+        // the table lock across them would wedge every concurrent
+        // search behind one slow member (sim::lockdep flags exactly
+        // this pattern). Child sources lock only their own state.
         let snapshots = infogram_sim::par::fan_out(&stale, |_, (_, src)| src.snapshot());
-        // Gather: apply tree mutations sequentially, in member order.
+        // Gather: re-acquire and apply tree mutations sequentially, in
+        // member order. `list` only ever grows (members are never
+        // removed), so the popped indices stay valid across the gap.
+        let mut guard = self.members.lock();
+        let members = &mut *guard;
         for ((idx, _), snapshot) in stale.iter().zip(snapshots) {
             let member = &mut members.list[*idx];
             let entries = match snapshot {

@@ -79,12 +79,18 @@ impl MdsServer {
             accept_thread: Mutex::new(None),
         });
         let accept_server = Arc::clone(&server);
+        // lint:allow(thread-spawn) — long-lived accept loop; joined via
+        // accept_thread on shutdown, so sim::par's scoped join is the
+        // wrong shape.
         let handle = std::thread::spawn(move || {
             while accept_server.running.load(Ordering::SeqCst) {
                 match accept_server.listener.accept() {
                     Ok(conn) => {
                         let conn: Arc<dyn Conn> = Arc::from(conn);
                         let server = Arc::clone(&accept_server);
+                        // lint:allow(thread-spawn) — per-connection server
+                        // thread detaches for the connection's lifetime
+                        // (client-paced, no bounded join point).
                         std::thread::spawn(move || server.serve_connection(conn));
                     }
                     Err(_) => break,

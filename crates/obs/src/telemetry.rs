@@ -151,9 +151,16 @@ impl Telemetry {
     ///   `h.p50_ms`, `h.p95_ms`, and `h.p99_ms`;
     /// * each recorder `r` contributes `r.count` and `r.mean_ms`;
     /// * the event ring contributes `events.recorded` plus the newest
-    ///   events as `event.<seq>`.
+    ///   events as `event.<seq>`;
+    /// * the lock-order analyzer contributes `lockdep.classes`,
+    ///   `lockdep.edges`, and `lockdep.findings` (all zero when lockdep
+    ///   is disabled, e.g. release builds).
     pub fn snapshot_attrs(&self) -> Vec<(String, String)> {
         let mut attrs: BTreeMap<String, String> = BTreeMap::new();
+        let lockdep = parking_lot::lockdep::counts();
+        attrs.insert("lockdep.classes".to_string(), lockdep.classes.to_string());
+        attrs.insert("lockdep.edges".to_string(), lockdep.edges.to_string());
+        attrs.insert("lockdep.findings".to_string(), lockdep.findings.to_string());
         for (name, c) in self.inner.counters.lock().iter() {
             attrs.insert(name.clone(), c.get().to_string());
         }

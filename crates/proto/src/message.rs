@@ -46,6 +46,47 @@ pub mod codes {
     /// buffer without bound. Carried in the final [`super::Reply::SubEnd`]
     /// frame of the evicted subscription.
     pub const SLOW_CONSUMER: u32 = 36;
+
+    /// Every assigned error code with its name — the single place a new
+    /// code must be added. `tests::wire_tags_are_unique` fails if a
+    /// future change reuses a number or forgets to list one here.
+    pub const CATALOG: &[(u32, &str)] = &[
+        (BAD_RSL, "BAD_RSL"),
+        (AUTHENTICATION, "AUTHENTICATION"),
+        (AUTHORIZATION, "AUTHORIZATION"),
+        (NO_SUCH_JOB, "NO_SUCH_JOB"),
+        (NO_SUCH_KEYWORD, "NO_SUCH_KEYWORD"),
+        (AMBIGUOUS_REQUEST, "AMBIGUOUS_REQUEST"),
+        (EXECUTION_FAILED, "EXECUTION_FAILED"),
+        (TIMEOUT_EXCEPTION, "TIMEOUT_EXCEPTION"),
+        (INTERNAL, "INTERNAL"),
+        (UNSUPPORTED, "UNSUPPORTED"),
+        (UNAVAILABLE, "UNAVAILABLE"),
+        (SLOW_CONSUMER, "SLOW_CONSUMER"),
+    ];
+}
+
+/// Canonical wire-tag catalog: the byte after the protocol version that
+/// selects the message variant. The `encode`/`decode` arms below are
+/// hand-written against these numbers; `tests::wire_tags_are_unique`
+/// and `tests::encoders_agree_with_the_tag_catalog` fail if a future PR
+/// reuses a tag, renumbers a variant, or adds one without extending the
+/// catalog.
+pub mod tags {
+    /// [`super::Request`] variant tags.
+    pub const REQUEST: &[(u8, &str)] = &[(0, "Submit"), (1, "Status"), (2, "Cancel"), (3, "Ping")];
+    /// [`super::Reply`] variant tags.
+    pub const REPLY: &[(u8, &str)] = &[
+        (0, "JobAccepted"),
+        (1, "JobStatus"),
+        (2, "InfoResult"),
+        (3, "Event"),
+        (4, "Error"),
+        (5, "Pong"),
+        (6, "Subscribed"),
+        (7, "Update"),
+        (8, "SubEnd"),
+    ];
 }
 
 /// Client → service messages.
@@ -719,6 +760,105 @@ mod tests {
             callback: false,
         };
         assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+    }
+
+    fn assert_unique<T: Copy + Ord + std::fmt::Debug>(table: &[(T, &str)], what: &str) {
+        let mut seen = std::collections::BTreeMap::new();
+        for (num, name) in table {
+            if let Some(prev) = seen.insert(*num, *name) {
+                panic!("{what} {num:?} assigned to both {prev} and {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn wire_tags_are_unique() {
+        assert_unique(tags::REQUEST, "request tag");
+        assert_unique(tags::REPLY, "reply tag");
+        assert_unique(codes::CATALOG, "error code");
+    }
+
+    /// The catalog is only a guard if the hand-written encoders actually
+    /// use its numbers: encode one sample of every variant and check the
+    /// tag byte (the byte after the version) against the table.
+    #[test]
+    fn encoders_agree_with_the_tag_catalog() {
+        let handle = JobHandle::parse("x-infogram://host:2119/1/1").unwrap();
+        let requests = [
+            Request::Submit {
+                rsl: "(executable=/bin/true)".into(),
+                callback: false,
+            },
+            Request::Status {
+                handle: handle.clone(),
+            },
+            Request::Cancel {
+                handle: handle.clone(),
+            },
+            Request::Ping,
+        ];
+        assert_eq!(
+            requests.len(),
+            tags::REQUEST.len(),
+            "a Request variant is missing from tags::REQUEST"
+        );
+        for req in &requests {
+            let name = format!("{req:?}");
+            let bytes = req.encode();
+            let expect = tags::REQUEST
+                .iter()
+                .find(|(_, n)| name.starts_with(n))
+                .unwrap_or_else(|| panic!("{name} not in tags::REQUEST"));
+            assert_eq!(bytes[1], expect.0, "request tag drifted for {name}");
+        }
+        let replies = [
+            Reply::JobAccepted {
+                handle: handle.clone(),
+            },
+            Reply::JobStatus {
+                handle: handle.clone(),
+                state: JobStateCode::Active,
+                exit_code: None,
+                output: String::new(),
+            },
+            Reply::InfoResult {
+                body: String::new(),
+                record_count: 0,
+            },
+            Reply::Event {
+                handle,
+                state: JobStateCode::Done,
+            },
+            Reply::Error {
+                code: codes::INTERNAL,
+                message: String::new(),
+            },
+            Reply::Pong,
+            Reply::Subscribed { id: 1, count: 1 },
+            Reply::Update {
+                id: 1,
+                deltas: Vec::new(),
+            },
+            Reply::SubEnd {
+                id: 1,
+                code: codes::SLOW_CONSUMER,
+                message: String::new(),
+            },
+        ];
+        assert_eq!(
+            replies.len(),
+            tags::REPLY.len(),
+            "a Reply variant is missing from tags::REPLY"
+        );
+        for reply in &replies {
+            let name = format!("{reply:?}");
+            let bytes = reply.encode();
+            let expect = tags::REPLY
+                .iter()
+                .find(|(_, n)| name.starts_with(n))
+                .unwrap_or_else(|| panic!("{name} not in tags::REPLY"));
+            assert_eq!(bytes[1], expect.0, "reply tag drifted for {name}");
+        }
     }
 }
 

@@ -28,7 +28,7 @@
 //! state lock.
 
 use crate::transport::Conn;
-use parking_lot::Mutex;
+use parking_lot::{lock_class, lockdep, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -90,11 +90,14 @@ impl Outbox {
         Arc::new(Outbox {
             conn,
             capacity: capacity.max(1),
-            state: Mutex::new(OutboxState {
-                queue: VecDeque::new(),
-                draining: false,
-                closed: false,
-            }),
+            state: Mutex::with_class(
+                OutboxState {
+                    queue: VecDeque::new(),
+                    draining: false,
+                    closed: false,
+                },
+                lock_class!("proto.outbox.state"),
+            ),
         })
     }
 
@@ -154,6 +157,18 @@ impl Outbox {
                     }
                 }
             };
+            // A sink delivery can block on the peer's transport for as
+            // long as the transport likes. Two documented exceptions may
+            // be held here (DESIGN §13): the per-channel delivery lock
+            // (DESIGN §12: it exists to serialize exactly this send) and
+            // the per-connection job-event dedup lock, which serializes
+            // job Events into transition order the same way. The outbox's
+            // own state lock is released above, and nothing else may be
+            // held.
+            lockdep::blocking_point(
+                "proto.outbox.send",
+                &["info.sub.delivery", "exec.gram.job_subs"],
+            );
             if self.conn.send(&frame).is_err() {
                 let mut st = self.state.lock();
                 st.draining = false;

@@ -134,6 +134,11 @@ impl Clock for SystemClock {
     }
 
     fn sleep(&self, d: Duration) {
+        // Zero-duration sleeps (a deadline already due) never park, so
+        // they are not blocking points.
+        if !d.is_zero() {
+            crate::lockdep::blocking_point("sim.clock.sleep", &[]);
+        }
         std::thread::sleep(d);
     }
 }
@@ -182,6 +187,11 @@ impl Clock for ManualClock {
     }
 
     fn sleep(&self, d: Duration) {
+        // A manual-clock sleep blocks until *another thread* advances
+        // time — holding a lock here can starve the advancing thread.
+        if !d.is_zero() {
+            crate::lockdep::blocking_point("sim.clock.sleep", &[]);
+        }
         let deadline = self.now().plus(d);
         // Under the model checker, sleeping on the execution's clock
         // parks at the scheduler, which advances virtual time to the

@@ -33,6 +33,11 @@
 //!   ([`timer::TimerWheel`]) backing the adaptive refresh scheduler and
 //!   the GIIS member re-pull loop; the caller supplies `now`, so it runs
 //!   identically under both clocks and inside the model checker.
+//! * [`lockdep`] — a Linux-lockdep-style lock-order and blocking-
+//!   section analyzer (re-exported from the instrumented `parking_lot`
+//!   shim) that watches every lock acquisition in ordinary test runs
+//!   and reports order inversions, guards held across declared blocking
+//!   points, and locks leaked past thread exit.
 //! * `model` (behind the `model` feature) — a CHESS/Loom-style schedule
 //!   explorer that drives small multi-threaded scenarios through every
 //!   bounded interleaving of their synchronization points, on the
@@ -41,6 +46,7 @@
 
 pub mod clock;
 pub mod fault;
+pub mod lockdep;
 pub mod metrics;
 #[cfg(feature = "model")]
 pub mod model;

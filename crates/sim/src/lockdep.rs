@@ -1,0 +1,35 @@
+//! Lock-order and blocking-section analysis (facade).
+//!
+//! The engine lives in the instrumented sync shim
+//! ([`parking_lot::lockdep`]) because that is the only layer that sees
+//! every `Mutex`/`RwLock`/`Condvar` operation in the workspace; this
+//! module re-exports it under the `sim` umbrella next to the other
+//! correctness substrates (`sim::model`, `sim::fault`) and is the name
+//! the rest of the workspace should use.
+//!
+//! # Quick tour
+//!
+//! - [`enabled`] — process-wide gate (`INFOGRAM_LOCKDEP`, defaulting to
+//!   on in debug builds, off in release).
+//! - `Mutex::with_class(v, lock_class!("info.sub.hub_state"))` — name a
+//!   lock class; unlabeled locks are classed by creation site. The
+//!   class catalog and the allowed acquisition order are documented in
+//!   DESIGN §13.
+//! - [`blocking_point`] — declare "this call may block unboundedly";
+//!   any guard held here (outside the point's allow list) is reported.
+//!   Declared points in this crate: `sim.par.fan_out_join` (the scope
+//!   join in [`crate::par::fan_out_bounded`]) and `sim.clock.sleep`
+//!   (both clocks; [`crate::timer::TimerWheel`] drivers block through
+//!   the latter, so the timer needs no point of its own).
+//! - [`capture`] — divert reports into a buffer for tests that provoke
+//!   violations on purpose.
+//! - [`counts`] — `lockdep.classes/edges/findings`, exported through
+//!   `obs::Telemetry` into the `(info=metrics)` payload.
+//!
+//! Findings print as `LOCKDEP: ...` lines on stderr;
+//! `scripts/check_lockdep.sh` runs the concurrency-heavy suites with
+//! the gate forced on and fails on any such line.
+
+pub use parking_lot::lockdep::{
+    blocking_point, capture, counts, enabled, register_class, Counts, Report, ReportKind,
+};

@@ -74,6 +74,10 @@ where
     if n <= 1 || max_threads <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    // The caller is about to block in the scope join until every worker
+    // finishes — unbounded if a task stalls. Holding any lock here would
+    // let one slow fan-out wedge every thread that wants that lock.
+    crate::lockdep::blocking_point("sim.par.fan_out_join", &[]);
     let slots: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
     let cursor = AtomicUsize::new(0);
     let run = |_worker: usize| {

@@ -7,15 +7,18 @@
 #      table markers); see crates/lint
 #   3. scripts/check_docs.sh — rustdoc + clippy, warnings as errors
 #   4. cargo test --workspace — every unit, doc, and integration test
-#   5. scripts/check_model.sh — bounded schedule-exploration model
+#   5. scripts/check_lockdep.sh — lock-order / blocking-section sweep:
+#      the key suites re-run with sim::lockdep forced on, failing on
+#      any LOCKDEP finding
+#   6. scripts/check_model.sh — bounded schedule-exploration model
 #      checking of the concurrency core (seconds; EXHAUSTIVE=1 for the
 #      unbounded sweep)
-#   6. scripts/bench_smoke.sh — quick E16 + E17 + E18 + E19 runs
+#   7. scripts/bench_smoke.sh — quick E16 + E17 + E18 + E19 runs
 #      gating on the fan-out, fault-storm, refresh-scheduler and
 #      push-subscription acceptance criteria (writes
 #      BENCH_parallel_fanout.json, BENCH_fault_storm.json,
 #      BENCH_refresh_sched.json and BENCH_push_sub.json)
-#   7. scripts/chaos_smoke.sh — the full sandbox under a seeded random
+#   8. scripts/chaos_smoke.sh — the full sandbox under a seeded random
 #      fault storm: zero panics, bounded error rate, replayable seed
 #
 # Works fully offline; expect a few minutes on a cold target dir.
@@ -34,6 +37,8 @@ sh scripts/check_docs.sh
 
 echo "==> cargo test --workspace"
 cargo test --workspace -q
+
+sh scripts/check_lockdep.sh
 
 sh scripts/check_model.sh
 

@@ -11,6 +11,18 @@
 //! propagating the inner guard out of a poisoned lock — matching
 //! `parking_lot`, which has no poisoning at all.
 //!
+//! # Lockdep
+//!
+//! Because every workspace lock goes through this shim, it doubles as
+//! the instrumentation layer for [`lockdep`] — an always-on (in debug
+//! builds) lock-order and blocking-section analyzer. Each object
+//! carries a creation site (via `#[track_caller]` on the constructors)
+//! and an optional class label set with [`Mutex::with_class`] /
+//! [`RwLock::with_class`] / [`Condvar::with_class`] and the
+//! [`lock_class!`] macro; each acquire/release updates a per-thread
+//! held stack and a global acquisition-order graph. See the [`lockdep`]
+//! module docs for the report taxonomy and the `INFOGRAM_LOCKDEP` gate.
+//!
 //! # The `model` feature
 //!
 //! With `--features model`, every lock/unlock/wait/notify additionally
@@ -20,11 +32,31 @@
 //! the hook calls are no-ops and the types behave exactly as without the
 //! feature. Each synchronization object gets a lazily assigned process-
 //! unique `u64` id so hooks can key their bookkeeping without caring
-//! about addresses or types.
+//! about addresses or types. Lockdep stands down on tracked threads:
+//! the explorer owns their schedules (and deliberately deadlocks them).
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError};
+
+pub mod lockdep;
+
+/// Register a lock-class label and evaluate to it, for use at lock
+/// construction sites:
+///
+/// ```
+/// use parking_lot::{lock_class, Mutex};
+/// let m = Mutex::with_class(0u32, lock_class!("example.counter"));
+/// ```
+///
+/// All locks sharing a label form one lockdep class (e.g. every
+/// per-keyword delivery lock); see [`lockdep`] for what that implies.
+#[macro_export]
+macro_rules! lock_class {
+    ($name:expr) => {
+        $crate::lockdep::register_class($name)
+    };
+}
 
 #[cfg(feature = "model")]
 pub mod hooks {
@@ -143,22 +175,10 @@ pub mod hooks {
     }
 }
 
-/// Lazily assign a process-unique id to a sync object. A field-embedded
-/// `OnceLock<u64>` (const-constructible, so `const fn new` survives)
-/// avoids casting fat pointers for `?Sized` payloads.
-#[cfg(feature = "model")]
-fn obj_id(slot: &std::sync::OnceLock<u64>) -> u64 {
-    use std::sync::atomic::{AtomicU64, Ordering};
-    static NEXT: AtomicU64 = AtomicU64::new(1);
-    *slot.get_or_init(|| NEXT.fetch_add(1, Ordering::Relaxed))
-}
-
 /// A mutual-exclusion lock with the `parking_lot` API: `lock()` returns
 /// the guard directly and a panicking holder does not poison the lock.
-#[derive(Default)]
 pub struct Mutex<T: ?Sized> {
-    #[cfg(feature = "model")]
-    model_id: std::sync::OnceLock<u64>,
+    ld: lockdep::LdMeta,
     inner: sync::Mutex<T>,
 }
 
@@ -166,7 +186,8 @@ pub struct Mutex<T: ?Sized> {
 pub struct MutexGuard<'a, T: ?Sized> {
     #[cfg(feature = "model")]
     raw: &'a sync::Mutex<T>,
-    #[cfg(feature = "model")]
+    /// Object id for release bookkeeping; 0 when neither lockdep nor
+    /// the model hooks are tracking this process.
     id: u64,
     // `Option` so `Condvar::wait` can temporarily take the std guard out
     // (std's `Condvar::wait` consumes the guard by value).
@@ -174,61 +195,84 @@ pub struct MutexGuard<'a, T: ?Sized> {
 }
 
 impl<T> Mutex<T> {
-    /// Create a new mutex.
+    /// Create a new mutex. The caller's location becomes the lock's
+    /// default lockdep class.
+    #[track_caller]
     pub const fn new(value: T) -> Self {
         Mutex {
-            #[cfg(feature = "model")]
-            model_id: std::sync::OnceLock::new(),
+            ld: lockdep::LdMeta::new(),
             inner: sync::Mutex::new(value),
         }
+    }
+
+    /// Create a new mutex in the named lockdep class (see
+    /// [`lock_class!`]). All locks sharing a label are one class.
+    #[track_caller]
+    pub fn with_class(value: T, class: &'static str) -> Self {
+        let m = Mutex::new(value);
+        lockdep::label(&m.ld, class);
+        m
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Mutex::new(T::default())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
-    #[cfg(feature = "model")]
-    fn id(&self) -> u64 {
-        obj_id(&self.model_id)
+    fn tracked_id(&self) -> u64 {
+        if cfg!(feature = "model") || lockdep::enabled() {
+            self.ld.id()
+        } else {
+            0
+        }
     }
 
     /// Acquire the lock, blocking the current thread until it is free.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
         // Under an exploration the hook blocks until the model grants
         // ownership; the real lock below is then uncontended (the model
         // only frees a mutex after its real guard has dropped).
         #[cfg(feature = "model")]
-        hooks::mutex_lock(self.id());
-        MutexGuard {
+        hooks::mutex_lock(self.ld.id());
+        let id = self.tracked_id();
+        let guard = MutexGuard {
             #[cfg(feature = "model")]
             raw: &self.inner,
-            #[cfg(feature = "model")]
-            id: self.id(),
+            id,
             inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
-        }
+        };
+        lockdep::acquired(&self.ld, id, lockdep::AcqKind::Mutex);
+        guard
     }
 
     /// Attempt to acquire the lock without blocking.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         #[cfg(feature = "model")]
-        if !hooks::mutex_try_lock(self.id()) {
+        if !hooks::mutex_try_lock(self.ld.id()) {
             return None;
         }
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard {
-                #[cfg(feature = "model")]
-                raw: &self.inner,
-                #[cfg(feature = "model")]
-                id: self.id(),
-                inner: Some(g),
-            }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
-                #[cfg(feature = "model")]
-                raw: &self.inner,
-                #[cfg(feature = "model")]
-                id: self.id(),
-                inner: Some(p.into_inner()),
-            }),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let id = self.tracked_id();
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        // A successful try_lock still establishes ordering facts (it
+        // held the lock while others were held), so it feeds the graph
+        // like a blocking acquire.
+        lockdep::acquired(&self.ld, id, lockdep::AcqKind::Mutex);
+        Some(MutexGuard {
+            #[cfg(feature = "model")]
+            raw: &self.inner,
+            id,
+            inner: Some(inner),
+        })
     }
 
     /// Consume the mutex, returning the inner value.
@@ -266,77 +310,100 @@ impl<'a, T: ?Sized> DerefMut for MutexGuard<'a, T> {
     }
 }
 
-#[cfg(feature = "model")]
 impl<'a, T: ?Sized> Drop for MutexGuard<'a, T> {
     fn drop(&mut self) {
-        // Release the real lock first, then tell the model; the hook is
-        // non-blocking and panic-free, so dropping a guard mid-unwind
-        // (a panicking holder) stays safe.
-        if self.inner.take().is_some() {
+        // Release the real lock first, then tell the trackers; both
+        // paths are non-blocking and panic-free, so dropping a guard
+        // mid-unwind (a panicking holder) stays safe.
+        if self.inner.take().is_some() && self.id != 0 {
+            lockdep::released(self.id);
+            #[cfg(feature = "model")]
             hooks::mutex_unlock(self.id);
         }
     }
 }
 
 /// A reader-writer lock with the `parking_lot` API.
-#[derive(Default)]
 pub struct RwLock<T: ?Sized> {
-    #[cfg(feature = "model")]
-    model_id: std::sync::OnceLock<u64>,
+    ld: lockdep::LdMeta,
     inner: sync::RwLock<T>,
 }
 
 /// RAII guard for [`RwLock::read`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
-    #[cfg(feature = "model")]
     id: u64,
     inner: Option<sync::RwLockReadGuard<'a, T>>,
 }
 
 /// RAII guard for [`RwLock::write`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
-    #[cfg(feature = "model")]
     id: u64,
     inner: Option<sync::RwLockWriteGuard<'a, T>>,
 }
 
 impl<T> RwLock<T> {
-    /// Create a new reader-writer lock.
+    /// Create a new reader-writer lock. The caller's location becomes
+    /// the lock's default lockdep class.
+    #[track_caller]
     pub const fn new(value: T) -> Self {
         RwLock {
-            #[cfg(feature = "model")]
-            model_id: std::sync::OnceLock::new(),
+            ld: lockdep::LdMeta::new(),
             inner: sync::RwLock::new(value),
         }
+    }
+
+    /// Create a new reader-writer lock in the named lockdep class (see
+    /// [`lock_class!`]).
+    #[track_caller]
+    pub fn with_class(value: T, class: &'static str) -> Self {
+        let l = RwLock::new(value);
+        lockdep::label(&l.ld, class);
+        l
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    #[track_caller]
+    fn default() -> Self {
+        RwLock::new(T::default())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
-    #[cfg(feature = "model")]
-    fn id(&self) -> u64 {
-        obj_id(&self.model_id)
+    fn tracked_id(&self) -> u64 {
+        if cfg!(feature = "model") || lockdep::enabled() {
+            self.ld.id()
+        } else {
+            0
+        }
     }
 
     /// Acquire shared read access, blocking until available.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         #[cfg(feature = "model")]
-        hooks::rw_read(self.id());
-        RwLockReadGuard {
-            #[cfg(feature = "model")]
-            id: self.id(),
+        hooks::rw_read(self.ld.id());
+        let id = self.tracked_id();
+        let guard = RwLockReadGuard {
+            id,
             inner: Some(self.inner.read().unwrap_or_else(PoisonError::into_inner)),
-        }
+        };
+        lockdep::acquired(&self.ld, id, lockdep::AcqKind::Read);
+        guard
     }
 
     /// Acquire exclusive write access, blocking until available.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         #[cfg(feature = "model")]
-        hooks::rw_write(self.id());
-        RwLockWriteGuard {
-            #[cfg(feature = "model")]
-            id: self.id(),
+        hooks::rw_write(self.ld.id());
+        let id = self.tracked_id();
+        let guard = RwLockWriteGuard {
+            id,
             inner: Some(self.inner.write().unwrap_or_else(PoisonError::into_inner)),
-        }
+        };
+        lockdep::acquired(&self.ld, id, lockdep::AcqKind::Write);
+        guard
     }
 
     /// Consume the lock, returning the inner value.
@@ -381,19 +448,21 @@ impl<'a, T: ?Sized> DerefMut for RwLockWriteGuard<'a, T> {
     }
 }
 
-#[cfg(feature = "model")]
 impl<'a, T: ?Sized> Drop for RwLockReadGuard<'a, T> {
     fn drop(&mut self) {
-        if self.inner.take().is_some() {
+        if self.inner.take().is_some() && self.id != 0 {
+            lockdep::released(self.id);
+            #[cfg(feature = "model")]
             hooks::rw_unread(self.id);
         }
     }
 }
 
-#[cfg(feature = "model")]
 impl<'a, T: ?Sized> Drop for RwLockWriteGuard<'a, T> {
     fn drop(&mut self) {
-        if self.inner.take().is_some() {
+        if self.inner.take().is_some() && self.id != 0 {
+            lockdep::released(self.id);
+            #[cfg(feature = "model")]
             hooks::rw_unwrite(self.id);
         }
     }
@@ -401,31 +470,39 @@ impl<'a, T: ?Sized> Drop for RwLockWriteGuard<'a, T> {
 
 /// A condition variable with the `parking_lot` API: `wait` reborrows the
 /// guard instead of consuming it.
-#[derive(Default)]
 pub struct Condvar {
-    #[cfg(feature = "model")]
-    model_id: std::sync::OnceLock<u64>,
+    ld: lockdep::LdMeta,
     inner: sync::Condvar,
 }
 
 impl Condvar {
     /// Create a new condition variable.
+    #[track_caller]
     pub const fn new() -> Self {
         Condvar {
-            #[cfg(feature = "model")]
-            model_id: std::sync::OnceLock::new(),
+            ld: lockdep::LdMeta::new(),
             inner: sync::Condvar::new(),
         }
     }
 
-    #[cfg(feature = "model")]
-    fn id(&self) -> u64 {
-        obj_id(&self.model_id)
+    /// Create a new condition variable in the named lockdep class (see
+    /// [`lock_class!`]). Condvars never enter the order graph; the
+    /// label only documents the wait site in the class registry.
+    #[track_caller]
+    pub fn with_class(class: &'static str) -> Self {
+        let cv = Condvar::new();
+        lockdep::label(&cv.ld, class);
+        cv
     }
 
     /// Atomically release the mutex and wait for a notification, then
     /// reacquire the mutex before returning.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // The wait mutex is legitimately released for the duration, so
+        // take it off the held stack; anything *else* still held while
+        // we park is a blocking-section violation.
+        let saved = lockdep::wait_release(guard.id);
+        lockdep::blocking_point("sync.condvar.wait", &[]);
         #[cfg(feature = "model")]
         if hooks::is_active() {
             // Really release the mutex, park at the model level (the
@@ -433,8 +510,9 @@ impl Condvar {
             // the mutex back), then retake the — now free — real lock.
             let mutex_id = guard.id;
             drop(guard.inner.take());
-            hooks::condvar_wait(self.id(), mutex_id);
+            hooks::condvar_wait(self.ld.id(), mutex_id);
             guard.inner = Some(guard.raw.lock().unwrap_or_else(PoisonError::into_inner));
+            lockdep::wait_reacquire(saved);
             return;
         }
         let inner = guard.inner.take().expect("guard present");
@@ -443,20 +521,28 @@ impl Condvar {
                 .wait(inner)
                 .unwrap_or_else(PoisonError::into_inner),
         );
+        lockdep::wait_reacquire(saved);
     }
 
     /// Wake one waiting thread.
     pub fn notify_one(&self) {
         #[cfg(feature = "model")]
-        hooks::condvar_notify(self.id(), false);
+        hooks::condvar_notify(self.ld.id(), false);
         self.inner.notify_one();
     }
 
     /// Wake all waiting threads.
     pub fn notify_all(&self) {
         #[cfg(feature = "model")]
-        hooks::condvar_notify(self.id(), true);
+        hooks::condvar_notify(self.ld.id(), true);
         self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    #[track_caller]
+    fn default() -> Self {
+        Condvar::new()
     }
 }
 
@@ -519,15 +605,20 @@ mod tests {
         assert_eq!(*m.lock(), 1);
     }
 
-    #[cfg(feature = "model")]
     #[test]
     fn object_ids_are_unique_and_stable() {
         let a = Mutex::new(0);
         let b = Mutex::new(0);
-        assert_ne!(a.id(), b.id());
-        assert_eq!(a.id(), a.id());
+        assert_ne!(a.ld.id(), b.ld.id());
+        assert_eq!(a.ld.id(), a.ld.id());
         let cv = Condvar::new();
         let rw = RwLock::new(0);
-        assert_ne!(cv.id(), rw.id());
+        assert_ne!(cv.ld.id(), rw.ld.id());
+    }
+
+    #[test]
+    fn with_class_labels_resolve() {
+        let m = Mutex::with_class(0, lock_class!("shim.test.labeled"));
+        drop(m.lock());
     }
 }
