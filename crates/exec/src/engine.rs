@@ -8,7 +8,7 @@
 //! registered watchers (the client event callbacks of §2).
 
 use crate::backend::{BackendError, BackendJobRef, BackendStatus, ExecBackend};
-use crate::wal::{RecoveredState, Wal, WalEvent};
+use crate::wal::{RecoveryStats, Wal, WalError, WalEvent};
 use infogram_host::machine::SimulatedHost;
 use infogram_proto::handle::JobHandle;
 use infogram_proto::message::JobStateCode;
@@ -20,6 +20,7 @@ use parking_lot::{lock_class, Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Engine identity: where handles point and which resource name contracts
 /// are checked against.
@@ -52,6 +53,13 @@ pub enum SubmitError {
     UnknownQueue(String),
     /// Batch job without a queue and no default queue configured.
     NoQueueConfigured,
+    /// The logging service cannot make the submission durable; the
+    /// engine is read-only until the WAL heals. Honest degradation:
+    /// rejected with a retry hint, never silently acked.
+    WalUnavailable {
+        /// Milliseconds until the WAL probes its sink again.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -60,6 +68,10 @@ impl std::fmt::Display for SubmitError {
             SubmitError::Backend(e) => write!(f, "{e}"),
             SubmitError::UnknownQueue(q) => write!(f, "unknown queue '{q}'"),
             SubmitError::NoQueueConfigured => write!(f, "no batch queue configured"),
+            SubmitError::WalUnavailable { retry_after_ms } => write!(
+                f,
+                "job log degraded, not accepting jobs; retry-after-ms={retry_after_ms}"
+            ),
         }
     }
 }
@@ -101,6 +113,23 @@ struct JobEntry {
     submitted_at: SimTime,
     retries_left: u32,
     timeout_exceeded: bool,
+    /// A terminal transition for this job is queued but not yet durable.
+    /// While set, the entry stays non-terminal and refresh/cancel leave
+    /// it alone — [`JobEngine::settle`] finalizes (or clears the flag if
+    /// the WAL rejects the commit, so a later refresh retries).
+    finishing: bool,
+}
+
+/// A terminal transition discovered under the jobs lock, to be committed
+/// and finalized by [`JobEngine::settle`] *after* the lock is released —
+/// the WAL's commit ticket blocks on a condvar, which is illegal under
+/// any engine lock (DESIGN §13).
+struct PendingFinish {
+    job_id: u64,
+    state: JobStateCode,
+    exit_code: Option<i32>,
+    now: SimTime,
+    wall: Duration,
 }
 
 type Watcher = Arc<dyn Fn(JobHandle, JobStateCode) + Send + Sync>;
@@ -151,10 +180,13 @@ impl JobEngine {
         metrics: MetricSet,
     ) -> Arc<Self> {
         let mut wal = wal;
-        let recovered = RecoveredState::from_events(&wal.events());
-        let epoch = recovered.last_epoch + 1;
         wal.set_telemetry(metrics.clone());
-        wal.record(&WalEvent::ServiceStarted { epoch });
+        let recovered = wal.fold_snapshot().state;
+        let epoch = recovered.last_epoch + 1;
+        // If the sink is down at boot the engine starts degraded (the
+        // failed probe latches the WAL read-only); it still serves
+        // status/info while rejecting submissions.
+        let _ = wal.commit(clock.now(), &[WalEvent::ServiceStarted { epoch }]);
         Arc::new(JobEngine {
             config,
             clock,
@@ -243,14 +275,34 @@ impl JobEngine {
         self.wal.events()
     }
 
+    /// The engine's logging service (tests and benches reach through to
+    /// inspect the fold or force commits).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// What WAL recovery salvaged when this engine's log was opened.
+    pub fn wal_recovery_stats(&self) -> RecoveryStats {
+        self.wal.recovery_stats().clone()
+    }
+
+    /// If the engine is in read-only degradation (WAL down), the retry
+    /// hint in milliseconds.
+    pub fn wal_read_only_hint(&self) -> Option<u64> {
+        self.wal.read_only_hint(self.clock.now())
+    }
+
     /// Log an authenticated information query (§7): grist for the simple
     /// grid accounting and for "intelligent scheduling services".
     pub fn log_info_query(&self, owner: &str, account: &str, keywords: &str) {
-        self.wal.record(&WalEvent::InfoQueried {
-            owner: owner.to_string(),
-            account: account.to_string(),
-            keywords: keywords.to_string(),
-        });
+        self.wal.record(
+            self.clock.now(),
+            &WalEvent::InfoQueried {
+                owner: owner.to_string(),
+                account: account.to_string(),
+                keywords: keywords.to_string(),
+            },
+        );
         self.metrics.counter("info.queries_logged").incr();
     }
 
@@ -296,26 +348,48 @@ impl JobEngine {
         owner: &str,
         account: &str,
     ) -> Result<JobHandle, SubmitError> {
+        let now = self.clock.now();
+        // Fast-path rejection while degraded: don't even start a backend
+        // job we could not durably record.
+        if let Some(retry_after_ms) = self.wal.read_only_hint(now) {
+            self.metrics.counter("jobs.rejected_readonly").incr();
+            return Err(SubmitError::WalUnavailable { retry_after_ms });
+        }
         let (kind, queue_name, backend) = self.backend_for(&spec)?;
         let (job_ref, output) = backend
             .submit(&spec, account)
             .map_err(SubmitError::Backend)?;
         let job_id = self.next_job_id.fetch_add(1, Ordering::SeqCst);
-        let now = self.clock.now();
-        self.wal.record(&WalEvent::Submitted {
-            job_id,
-            rsl: rsl_text.to_string(),
-            owner: owner.to_string(),
-            account: account.to_string(),
-        });
         let initial_state = match backend.poll(&job_ref) {
             BackendStatus::Pending => JobStateCode::Pending,
             _ => JobStateCode::Active,
         };
-        self.wal.record(&WalEvent::StateChanged {
-            job_id,
-            state: initial_state,
-        });
+        // Group commit: the ack below only happens once this batch is
+        // durable. No engine lock is held across the ticket wait.
+        if let Err(e) = self.wal.commit(
+            now,
+            &[
+                WalEvent::Submitted {
+                    job_id,
+                    rsl: rsl_text.to_string(),
+                    owner: owner.to_string(),
+                    account: account.to_string(),
+                },
+                WalEvent::StateChanged {
+                    job_id,
+                    state: initial_state,
+                },
+            ],
+        ) {
+            // Honest degradation: never ack a submission the log lost.
+            backend.cancel(&job_ref);
+            self.metrics.counter("jobs.rejected_readonly").incr();
+            let retry_after_ms = match e {
+                WalError::ReadOnly { retry_after_ms } => retry_after_ms,
+                WalError::Io(_) => self.wal.retry_after_ms(),
+            };
+            return Err(SubmitError::WalUnavailable { retry_after_ms });
+        }
         let retries_left = spec.restart_on_fail;
         self.jobs.lock().insert(
             job_id,
@@ -333,6 +407,7 @@ impl JobEngine {
                 submitted_at: now,
                 retries_left,
                 timeout_exceeded: false,
+                finishing: false,
             },
         );
         self.metrics.counter("jobs.submitted").incr();
@@ -375,17 +450,21 @@ impl JobEngine {
     /// Returns the (possibly new) state.
     ///
     /// Callers hold the `jobs` lock (they hand in `&mut JobEntry` from
-    /// the locked map), so discovered transitions are *queued* into
-    /// `pending` instead of notified inline — watcher callbacks reach
-    /// the subscription hub and the connection outbox, and must run
-    /// with the jobs lock released (DESIGN §13).
+    /// the locked map), so discovered transitions are *queued* instead of
+    /// acted on inline: non-terminal transitions into `pending` (watcher
+    /// callbacks reach the subscription hub and the connection outbox,
+    /// and must run with the jobs lock released — DESIGN §13), terminal
+    /// ones into `finishes` (the WAL commit ticket blocks on a condvar,
+    /// doubly illegal under the lock). [`JobEngine::settle`] runs both
+    /// queues after release.
     fn refresh(
         &self,
         job_id: u64,
         entry: &mut JobEntry,
         pending: &mut Vec<(JobHandle, JobStateCode)>,
+        finishes: &mut Vec<PendingFinish>,
     ) -> JobStateCode {
-        if entry.state.is_terminal() {
+        if entry.state.is_terminal() || entry.finishing {
             return entry.state;
         }
         let now = self.clock.now();
@@ -397,7 +476,7 @@ impl JobEngine {
         if let Some(max_time) = entry.spec.max_time {
             if elapsed > max_time {
                 backend.cancel(&entry.job_ref);
-                self.finish(job_id, entry, JobStateCode::Failed, None, now, pending);
+                self.queue_finish(job_id, entry, JobStateCode::Failed, None, now, finishes);
                 self.metrics.counter("jobs.maxtime_kills").incr();
                 return entry.state;
             }
@@ -407,7 +486,14 @@ impl JobEngine {
                 match entry.spec.timeout_action {
                     TimeoutAction::Cancel => {
                         backend.cancel(&entry.job_ref);
-                        self.finish(job_id, entry, JobStateCode::Canceled, None, now, pending);
+                        self.queue_finish(
+                            job_id,
+                            entry,
+                            JobStateCode::Canceled,
+                            None,
+                            now,
+                            finishes,
+                        );
                         self.metrics.counter("jobs.timeout_cancels").incr();
                         return entry.state;
                     }
@@ -451,19 +537,22 @@ impl JobEngine {
             }
         };
         if new_state != entry.state {
-            let old_state = entry.state;
-            entry.state = new_state;
             if new_state.is_terminal() {
                 let exit_code = match status {
                     BackendStatus::Finished { exit_code } => Some(exit_code),
                     _ => None,
                 };
-                self.finish(job_id, entry, new_state, exit_code, now, pending);
+                self.queue_finish(job_id, entry, new_state, exit_code, now, finishes);
             } else {
-                self.wal.record(&WalEvent::StateChanged {
-                    job_id,
-                    state: new_state,
-                });
+                let old_state = entry.state;
+                entry.state = new_state;
+                self.wal.record(
+                    now,
+                    &WalEvent::StateChanged {
+                        job_id,
+                        state: new_state,
+                    },
+                );
                 self.metrics.event(
                     now.as_secs_f64(),
                     "job.state",
@@ -475,81 +564,147 @@ impl JobEngine {
         entry.state
     }
 
-    fn finish(
+    /// Queue a terminal transition. The entry keeps its non-terminal
+    /// state — terminal visibility is gated on the `Finished` record
+    /// being durable, so recovery can never resurrect a finished job the
+    /// log did not confirm.
+    fn queue_finish(
         &self,
         job_id: u64,
         entry: &mut JobEntry,
         state: JobStateCode,
         exit_code: Option<i32>,
         now: SimTime,
-        pending: &mut Vec<(JobHandle, JobStateCode)>,
+        finishes: &mut Vec<PendingFinish>,
     ) {
-        entry.state = state;
-        entry.exit_code = exit_code;
-        // Stdout/stderr redirection onto the service-side filesystem.
-        if let Some(host) = self.stdio_host.read().as_ref() {
-            if let Some(path) = &entry.spec.stdout {
-                host.fs.write(path, entry.output.clone());
-            }
-            if let Some(path) = &entry.spec.stderr {
-                let stderr_body = if state == JobStateCode::Done {
-                    String::new()
-                } else {
-                    format!("job ended in state {state} (exit {exit_code:?})\n")
-                };
-                host.fs.write(path, stderr_body);
-            }
-        }
-        let wall = now.since(entry.submitted_at);
-        self.wal.record(&WalEvent::Finished {
+        entry.finishing = true;
+        finishes.push(PendingFinish {
             job_id,
             state,
             exit_code,
-            wall_seconds: wall.as_secs_f64(),
+            now,
+            wall: now.since(entry.submitted_at),
         });
-        self.metrics
-            .counter(match state {
-                JobStateCode::Done => "jobs.done",
-                JobStateCode::Canceled => "jobs.canceled",
-                _ => "jobs.failed",
-            })
-            .incr();
-        // Backend execution latency (submission → terminal state, on the
-        // service clock).
-        self.metrics.histogram("jobs.wall").record(wall);
-        let exit = exit_code
-            .map(|c| format!(" (exit {c})"))
-            .unwrap_or_default();
-        self.metrics.event(
-            now.as_secs_f64(),
-            "job.state",
-            &format!("job {job_id}: finished {state}{exit}"),
-        );
-        pending.push((self.handle_for(job_id), state));
+    }
+
+    /// Flush what refresh queued, with no engine lock held: watcher
+    /// notifications first, then each terminal transition is group-
+    /// committed to the WAL and — only once durable — applied to the job
+    /// table and announced. A failed commit clears the `finishing` flag
+    /// so a later refresh retries (the backend's view of a finished job
+    /// is stable).
+    fn settle(&self, notifications: Vec<(JobHandle, JobStateCode)>, finishes: Vec<PendingFinish>) {
+        for (handle, state) in notifications {
+            self.notify(&handle, state);
+        }
+        for f in finishes {
+            let committed = self
+                .wal
+                .commit(
+                    f.now,
+                    &[WalEvent::Finished {
+                        job_id: f.job_id,
+                        state: f.state,
+                        exit_code: f.exit_code,
+                        wall_seconds: f.wall.as_secs_f64(),
+                    }],
+                )
+                .is_ok();
+            if !committed {
+                self.metrics.counter("wal.finish_deferred").incr();
+                if let Some(entry) = self.jobs.lock().get_mut(&f.job_id) {
+                    entry.finishing = false;
+                }
+                continue;
+            }
+            let mut fired = None;
+            {
+                let mut jobs = self.jobs.lock();
+                if let Some(entry) = jobs.get_mut(&f.job_id) {
+                    entry.finishing = false;
+                    if !entry.state.is_terminal() {
+                        entry.state = f.state;
+                        entry.exit_code = f.exit_code;
+                        // Stdout/stderr redirection onto the service-side
+                        // filesystem.
+                        if let Some(host) = self.stdio_host.read().as_ref() {
+                            if let Some(path) = &entry.spec.stdout {
+                                host.fs.write(path, entry.output.clone());
+                            }
+                            if let Some(path) = &entry.spec.stderr {
+                                let stderr_body = if f.state == JobStateCode::Done {
+                                    String::new()
+                                } else {
+                                    format!(
+                                        "job ended in state {} (exit {:?})\n",
+                                        f.state, f.exit_code
+                                    )
+                                };
+                                host.fs.write(path, stderr_body);
+                            }
+                        }
+                        self.metrics
+                            .counter(match f.state {
+                                JobStateCode::Done => "jobs.done",
+                                JobStateCode::Canceled => "jobs.canceled",
+                                _ => "jobs.failed",
+                            })
+                            .incr();
+                        // Backend execution latency (submission → terminal
+                        // state, on the service clock).
+                        self.metrics.histogram("jobs.wall").record(f.wall);
+                        let exit = f
+                            .exit_code
+                            .map(|c| format!(" (exit {c})"))
+                            .unwrap_or_default();
+                        self.metrics.event(
+                            f.now.as_secs_f64(),
+                            "job.state",
+                            &format!("job {}: finished {}{exit}", f.job_id, f.state),
+                        );
+                        fired = Some((self.handle_for(f.job_id), f.state));
+                    }
+                }
+            }
+            if let Some((handle, state)) = fired {
+                self.notify(&handle, state);
+            }
+        }
     }
 
     /// Current status of a job; `None` for unknown ids.
     pub fn status(&self, job_id: u64) -> Option<JobStatusView> {
         let mut pending = Vec::new();
-        let view = (|| {
+        let mut finishes = Vec::new();
+        let known = {
             let mut jobs = self.jobs.lock();
-            let entry = jobs.get_mut(&job_id)?;
-            self.refresh(job_id, entry, &mut pending);
-            Some(JobStatusView {
-                state: entry.state,
-                exit_code: entry.exit_code,
-                output: if entry.state.is_terminal() {
-                    entry.output.clone()
-                } else {
-                    String::new()
-                },
-                timeout_exceeded: entry.timeout_exceeded,
-            })
-        })();
-        for (handle, state) in pending {
-            self.notify(&handle, state);
+            match jobs.get_mut(&job_id) {
+                Some(entry) => {
+                    self.refresh(job_id, entry, &mut pending, &mut finishes);
+                    true
+                }
+                None => false,
+            }
+        };
+        // Commit queued terminal transitions before building the view, so
+        // a single status call still observes the terminal state (when
+        // the WAL is healthy).
+        self.settle(pending, finishes);
+        if !known {
+            return None;
         }
-        view
+        let jobs = self.jobs.lock();
+        let entry = jobs.get(&job_id)?;
+        Some(JobStatusView {
+            state: entry.state,
+            exit_code: entry.exit_code,
+            output: if entry.state.is_terminal() {
+                entry.output.clone()
+            } else {
+                String::new()
+            },
+            timeout_exceeded: entry.timeout_exceeded,
+        })
     }
 
     /// Refresh every non-terminal job against its backend, firing the
@@ -571,37 +726,45 @@ impl JobEngine {
         }
     }
 
-    /// Cancel a job; false for unknown or already-terminal jobs.
+    /// Cancel a job; false for unknown or already-terminal jobs (or when
+    /// the WAL refuses to durably record the cancellation — honest: the
+    /// caller is only told "canceled" once it would survive a restart).
     pub fn cancel(&self, job_id: u64) -> bool {
         let mut pending = Vec::new();
-        let canceled = (|| {
+        let mut finishes = Vec::new();
+        let attempted = {
             let mut jobs = self.jobs.lock();
             let Some(entry) = jobs.get_mut(&job_id) else {
                 return false;
             };
-            self.refresh(job_id, entry, &mut pending);
-            if entry.state.is_terminal() {
-                return false;
+            self.refresh(job_id, entry, &mut pending, &mut finishes);
+            if entry.state.is_terminal() || entry.finishing {
+                false
+            } else {
+                let backend = self.backend_of(entry);
+                backend.cancel(&entry.job_ref);
+                let now = self.clock.now();
+                self.queue_finish(
+                    job_id,
+                    entry,
+                    JobStateCode::Canceled,
+                    None,
+                    now,
+                    &mut finishes,
+                );
+                true
             }
-            let backend = self.backend_of(entry);
-            backend.cancel(&entry.job_ref);
-            let now = self.clock.now();
-            self.finish(
-                job_id,
-                entry,
-                JobStateCode::Canceled,
-                None,
-                now,
-                &mut pending,
-            );
-            true
-        })();
+        };
         // A refresh can discover a terminal transition even when the
-        // cancel itself loses the race — fire whatever was queued.
-        for (handle, state) in pending {
-            self.notify(&handle, state);
-        }
-        canceled
+        // cancel itself loses the race — settle whatever was queued.
+        self.settle(pending, finishes);
+        attempted
+            && self
+                .jobs
+                .lock()
+                .get(&job_id)
+                .map(|e| e.state == JobStateCode::Canceled)
+                .unwrap_or(false)
     }
 
     /// All known job ids.
@@ -630,7 +793,10 @@ impl JobEngine {
     /// our InfoGRAM service"), finished jobs are reinstalled as terminal
     /// records. Returns the ids of restarted jobs.
     pub fn recover(&self) -> Vec<u64> {
-        let recovered = RecoveredState::from_events(&self.wal.events());
+        let recovered = self.wal.fold_snapshot().state;
+        self.metrics
+            .gauge("wal.recovered_jobs")
+            .set(recovered.jobs.len() as f64);
         let mut restarted = Vec::new();
         for job in &recovered.jobs {
             if self.jobs.lock().contains_key(&job.job_id) {
@@ -660,6 +826,7 @@ impl JobEngine {
                             submitted_at: self.clock.now(),
                             retries_left: 0,
                             timeout_exceeded: false,
+                            finishing: false,
                         },
                     );
                 }
@@ -696,12 +863,16 @@ impl JobEngine {
                             submitted_at: self.clock.now(),
                             retries_left,
                             timeout_exceeded: false,
+                            finishing: false,
                         },
                     );
-                    self.wal.record(&WalEvent::StateChanged {
-                        job_id: job.job_id,
-                        state: initial,
-                    });
+                    self.wal.record(
+                        self.clock.now(),
+                        &WalEvent::StateChanged {
+                            job_id: job.job_id,
+                            state: initial,
+                        },
+                    );
                     self.metrics.counter("jobs.recovered").incr();
                     self.metrics.event(
                         self.clock.now().as_secs_f64(),

@@ -197,6 +197,14 @@ pub fn dispatch_job_request(
                             code: codes::EXECUTION_FAILED,
                             message: e.to_string(),
                         }),
+                        // WAL degraded: honest read-only refusal with a
+                        // machine-readable retry hint (PR 5 taxonomy),
+                        // never a silent ack of a submission the log
+                        // could not make durable.
+                        Err(e @ SubmitError::WalUnavailable { .. }) => Some(Reply::Error {
+                            code: codes::UNAVAILABLE,
+                            message: e.to_string(),
+                        }),
                         Err(e) => Some(Reply::Error {
                             code: codes::EXECUTION_FAILED,
                             message: e.to_string(),

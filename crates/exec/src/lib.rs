@@ -43,4 +43,8 @@ pub use gram::{
     DEFAULT_OUTBOX_CAPACITY,
 };
 pub use sandbox::{ExecMode, Jarlet, Policy, SandboxOutcome};
-pub use wal::{accounting_summary, FileWal, MemWal, RecoveredState, Wal, WalEvent, WalSink};
+pub use wal::{
+    accounting_summary, AccountUsage, CheckpointState, FileStorage, FileWal, FrameWal, MemStorage,
+    MemWal, RecoveredJob, RecoveredState, RecoveryStats, Wal, WalConfig, WalError, WalEvent,
+    WalSink, WalStorage,
+};

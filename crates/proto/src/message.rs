@@ -36,10 +36,13 @@ pub mod codes {
     /// The service does not serve this request type (e.g. info query to a
     /// plain GRAM).
     pub const UNSUPPORTED: u32 = 40;
-    /// The keyword's fault-domain breaker is open and no last-known-good
-    /// snapshot could be served. The message carries a machine-readable
-    /// `retry-after-ms=<n>` hint telling the client when the supervisor
-    /// will admit another provider execution.
+    /// The service cannot serve the request right now but expects to
+    /// recover: a keyword's fault-domain breaker is open with no
+    /// last-known-good snapshot, or the job log (WAL) is degraded and the
+    /// engine is read-only for submissions. The message carries a
+    /// machine-readable `retry-after-ms=<n>` hint telling the client when
+    /// the supervisor will admit another provider execution / when the
+    /// WAL will probe its sink again.
     pub const UNAVAILABLE: u32 = 35;
     /// A push subscriber fell too far behind: its bounded outbox
     /// overflowed and the service evicted the subscription rather than

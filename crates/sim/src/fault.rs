@@ -26,8 +26,8 @@
 use crate::clock::SimTime;
 use crate::rng::SplitMix64;
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -286,6 +286,320 @@ impl FaultPlan {
     }
 }
 
+// ---------------------------------------------------------------------
+// Disk faults
+// ---------------------------------------------------------------------
+
+/// One scripted disk failure mode, applied to a single storage
+/// operation of a WAL storage (`infogram_exec::wal::WalStorage`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskFault {
+    /// The append fails outright; nothing reaches the medium.
+    FailAppend,
+    /// Short write: only the first `keep` bytes of the append are
+    /// written (unsynced), and the append reports an error.
+    ShortWrite {
+        /// Bytes of the payload that do land before the error.
+        keep: usize,
+    },
+    /// Torn write: the first `keep` bytes reach the *durable* medium,
+    /// then the whole storage crashes — everything unsynced is dropped
+    /// and the torn frame prefix is what recovery will find.
+    TornWrite {
+        /// Bytes of the payload that survive the crash.
+        keep: usize,
+    },
+    /// The disk is full: this append — and every later one until
+    /// [`DiskFaultPlan::free_space`] — fails with nothing written.
+    DiskFull,
+    /// The storage crashes *before* this append: unsynced bytes are
+    /// dropped and every operation fails until [`DiskFaultPlan::restart`].
+    Crash,
+}
+
+/// What a storage implementation must do with one append, as decided by
+/// the plan. The plan only *decides*; dropping unsynced bytes on a
+/// crash verdict is the storage's job, so decisions stay pure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppendVerdict {
+    /// Write every byte normally.
+    Write,
+    /// Write only the first `keep` bytes (unsynced), then report an
+    /// I/O error.
+    Short {
+        /// Bytes that land.
+        keep: usize,
+    },
+    /// Persist the first `keep` bytes *durably*, crash the storage
+    /// (drop all unsynced bytes), then report an I/O error.
+    Torn {
+        /// Bytes that survive.
+        keep: usize,
+    },
+    /// Write nothing; report an I/O error with this detail.
+    Fail {
+        /// Human-readable cause, e.g. `injected append failure`.
+        detail: &'static str,
+    },
+    /// Crash before writing anything: drop unsynced bytes, then report
+    /// an I/O error; every later operation fails until restart.
+    Crash,
+}
+
+/// What a storage implementation must do with one fsync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncVerdict {
+    /// Promote unsynced bytes to durable as usual.
+    Sync,
+    /// Report an I/O error; the unsynced bytes stay unsynced (a later
+    /// successful sync may still promote them).
+    Fail,
+}
+
+/// Storm-mode probabilities for disk operations (independent draws,
+/// keyed by operation count — never by time — so the sequence is
+/// identical under both clocks and the model checker).
+#[derive(Debug, Clone)]
+pub struct DiskStormProfile {
+    /// Probability an append fails outright.
+    pub fail_p: f64,
+    /// Probability an append is a short write (a random prefix lands).
+    pub short_p: f64,
+    /// Probability an fsync fails.
+    pub fsync_fail_p: f64,
+}
+
+impl Default for DiskStormProfile {
+    /// A flaky-disk storm: 2% failed appends, 1% short writes, 2%
+    /// failed fsyncs.
+    fn default() -> Self {
+        DiskStormProfile {
+            fail_p: 0.02,
+            short_p: 0.01,
+            fsync_fail_p: 0.02,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct DiskPlanState {
+    /// Scripted faults keyed by global append index (0 = the first
+    /// append the plan ever sees).
+    append_faults: BTreeMap<u64, DiskFault>,
+    /// Global sync indices whose fsync fails.
+    sync_failures: BTreeSet<u64>,
+    /// Crash the storage when the append counter reaches this index.
+    crash_at_append: Option<u64>,
+    /// Disk-full latch: every append fails until space is freed.
+    full: bool,
+    appends_seen: u64,
+    syncs_seen: u64,
+    storm: Option<(SplitMix64, DiskStormProfile)>,
+}
+
+/// A deterministic, shareable *disk* fault-injection plan, consulted by
+/// WAL storage implementations on every append/fsync.
+///
+/// The same two modes as [`FaultPlan`]: per-operation scripts
+/// ([`DiskFaultPlan::fault_append`], [`DiskFaultPlan::fail_sync`],
+/// [`DiskFaultPlan::crash_after_appends`]) and a seeded storm
+/// ([`DiskFaultPlan::storm`]). All decisions are keyed by operation
+/// count, never by time, so a seeded plan replays identically under
+/// the system clock, the virtual clock, and `sim::model`.
+#[derive(Debug)]
+pub struct DiskFaultPlan {
+    state: Mutex<DiskPlanState>,
+    crashed: AtomicBool,
+    injected: AtomicU64,
+}
+
+/// Error detail reported by storages while the plan says crashed.
+pub const DISK_CRASHED_DETAIL: &str = "storage crashed (injected)";
+
+impl DiskFaultPlan {
+    /// An empty scripted plan: every operation healthy until scripted.
+    pub fn new() -> Arc<Self> {
+        Arc::new(DiskFaultPlan {
+            state: Mutex::new(DiskPlanState {
+                append_faults: BTreeMap::new(),
+                sync_failures: BTreeSet::new(),
+                crash_at_append: None,
+                full: false,
+                appends_seen: 0,
+                syncs_seen: 0,
+                storm: None,
+            }),
+            crashed: AtomicBool::new(false),
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// A seeded storm: every append/fsync draws from `profile` using a
+    /// PRNG seeded with `seed`. Scripted faults take precedence for
+    /// their operation index.
+    pub fn storm(seed: u64, profile: DiskStormProfile) -> Arc<Self> {
+        let plan = DiskFaultPlan::new();
+        plan.state.lock().storm = Some((SplitMix64::new(seed), profile));
+        plan
+    }
+
+    /// Script `fault` against the `in_appends`-th *upcoming* append
+    /// (0 = the very next one).
+    pub fn fault_append(&self, in_appends: u64, fault: DiskFault) {
+        let mut st = self.state.lock();
+        let idx = st.appends_seen + in_appends;
+        st.append_faults.insert(idx, fault);
+    }
+
+    /// Script the `in_syncs`-th *upcoming* fsync (0 = the very next
+    /// one) to fail.
+    pub fn fail_sync(&self, in_syncs: u64) {
+        let mut st = self.state.lock();
+        let idx = st.syncs_seen + in_syncs;
+        st.sync_failures.insert(idx);
+    }
+
+    /// Crash the storage after `k` more successful appends (the
+    /// `k+1`-th upcoming append crashes before writing).
+    pub fn crash_after_appends(&self, k: u64) {
+        let mut st = self.state.lock();
+        st.crash_at_append = Some(st.appends_seen + k);
+    }
+
+    /// Latch the disk-full condition: every append fails until
+    /// [`DiskFaultPlan::free_space`].
+    pub fn fill_disk(&self) {
+        self.state.lock().full = true;
+    }
+
+    /// Clear the disk-full condition.
+    pub fn free_space(&self) {
+        self.state.lock().full = false;
+    }
+
+    /// Whether the simulated storage is currently crashed (every
+    /// operation fails until [`DiskFaultPlan::restart`]).
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    /// Bring a crashed storage back (the simulated machine rebooted).
+    /// Does *not* clear a disk-full latch — a full disk stays full
+    /// across reboots.
+    pub fn restart(&self) {
+        self.crashed.store(false, Ordering::Release);
+    }
+
+    /// Total number of injections applied so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Appends decided so far (for scripting relative to "now").
+    pub fn appends_seen(&self) -> u64 {
+        self.state.lock().appends_seen
+    }
+
+    /// Decide what happens to the next append of `len` bytes.
+    pub fn on_append(&self, len: usize) -> AppendVerdict {
+        if self.crashed() {
+            return AppendVerdict::Fail {
+                detail: DISK_CRASHED_DETAIL,
+            };
+        }
+        let mut st = self.state.lock();
+        let idx = st.appends_seen;
+        st.appends_seen += 1;
+        if st.crash_at_append == Some(idx) {
+            st.crash_at_append = None;
+            drop(st);
+            self.crashed.store(true, Ordering::Release);
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return AppendVerdict::Crash;
+        }
+        if let Some(fault) = st.append_faults.remove(&idx) {
+            let verdict = match fault {
+                DiskFault::FailAppend => AppendVerdict::Fail {
+                    detail: "injected append failure",
+                },
+                DiskFault::ShortWrite { keep } => AppendVerdict::Short {
+                    keep: keep.min(len),
+                },
+                DiskFault::TornWrite { keep } => {
+                    self.crashed.store(true, Ordering::Release);
+                    AppendVerdict::Torn {
+                        keep: keep.min(len),
+                    }
+                }
+                DiskFault::DiskFull => {
+                    st.full = true;
+                    AppendVerdict::Fail {
+                        detail: "disk full (injected)",
+                    }
+                }
+                DiskFault::Crash => {
+                    self.crashed.store(true, Ordering::Release);
+                    AppendVerdict::Crash
+                }
+            };
+            drop(st);
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return verdict;
+        }
+        if st.full {
+            drop(st);
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return AppendVerdict::Fail {
+                detail: "disk full (injected)",
+            };
+        }
+        if let Some((rng, profile)) = &mut st.storm {
+            let draw = rng.next_f64();
+            if draw < profile.fail_p {
+                drop(st);
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return AppendVerdict::Fail {
+                    detail: "injected append failure",
+                };
+            }
+            if draw < profile.fail_p + profile.short_p {
+                let keep = if len == 0 {
+                    0
+                } else {
+                    rng.below(len as u64 + 1) as usize
+                };
+                drop(st);
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return AppendVerdict::Short { keep };
+            }
+        }
+        AppendVerdict::Write
+    }
+
+    /// Decide what happens to the next fsync.
+    pub fn on_sync(&self) -> SyncVerdict {
+        if self.crashed() {
+            return SyncVerdict::Fail;
+        }
+        let mut st = self.state.lock();
+        let idx = st.syncs_seen;
+        st.syncs_seen += 1;
+        if st.sync_failures.remove(&idx) {
+            drop(st);
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return SyncVerdict::Fail;
+        }
+        if let Some((rng, profile)) = &mut st.storm {
+            if rng.next_f64() < profile.fsync_fail_p {
+                drop(st);
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return SyncVerdict::Fail;
+            }
+        }
+        SyncVerdict::Sync
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +665,87 @@ mod tests {
         assert_eq!(seq_a, seq_b);
         assert!(seq_a.iter().any(|i| *i != Injection::Healthy));
         assert!(seq_a.contains(&Injection::Healthy));
+    }
+
+    #[test]
+    fn disk_plan_scripted_faults_hit_their_op_index() {
+        let plan = DiskFaultPlan::new();
+        plan.fault_append(1, DiskFault::FailAppend);
+        plan.fault_append(2, DiskFault::ShortWrite { keep: 3 });
+        plan.fail_sync(0);
+        assert_eq!(plan.on_append(10), AppendVerdict::Write);
+        assert_eq!(
+            plan.on_append(10),
+            AppendVerdict::Fail {
+                detail: "injected append failure"
+            }
+        );
+        assert_eq!(plan.on_append(10), AppendVerdict::Short { keep: 3 });
+        assert_eq!(plan.on_append(10), AppendVerdict::Write);
+        assert_eq!(plan.on_sync(), SyncVerdict::Fail);
+        assert_eq!(plan.on_sync(), SyncVerdict::Sync);
+        assert_eq!(plan.injected(), 3);
+    }
+
+    #[test]
+    fn disk_plan_crash_after_k_appends_then_restart() {
+        let plan = DiskFaultPlan::new();
+        plan.crash_after_appends(2);
+        assert_eq!(plan.on_append(1), AppendVerdict::Write);
+        assert_eq!(plan.on_append(1), AppendVerdict::Write);
+        assert_eq!(plan.on_append(1), AppendVerdict::Crash);
+        assert!(plan.crashed());
+        // While crashed, everything fails.
+        assert_eq!(
+            plan.on_append(1),
+            AppendVerdict::Fail {
+                detail: DISK_CRASHED_DETAIL
+            }
+        );
+        assert_eq!(plan.on_sync(), SyncVerdict::Fail);
+        plan.restart();
+        assert!(!plan.crashed());
+        assert_eq!(plan.on_append(1), AppendVerdict::Write);
+        assert_eq!(plan.on_sync(), SyncVerdict::Sync);
+    }
+
+    #[test]
+    fn disk_plan_torn_write_crashes_with_prefix() {
+        let plan = DiskFaultPlan::new();
+        plan.fault_append(0, DiskFault::TornWrite { keep: 99 });
+        // keep is clamped to the payload length.
+        assert_eq!(plan.on_append(7), AppendVerdict::Torn { keep: 7 });
+        assert!(plan.crashed());
+    }
+
+    #[test]
+    fn disk_plan_full_latches_until_freed() {
+        let plan = DiskFaultPlan::new();
+        plan.fault_append(0, DiskFault::DiskFull);
+        assert!(matches!(plan.on_append(1), AppendVerdict::Fail { .. }));
+        assert!(matches!(
+            plan.on_append(1),
+            AppendVerdict::Fail {
+                detail: "disk full (injected)"
+            }
+        ));
+        plan.free_space();
+        assert_eq!(plan.on_append(1), AppendVerdict::Write);
+    }
+
+    #[test]
+    fn disk_storm_is_seed_deterministic() {
+        let mk = || DiskFaultPlan::storm(99, DiskStormProfile::default());
+        let (a, b) = (mk(), mk());
+        let seq_a: Vec<AppendVerdict> = (0..400).map(|_| a.on_append(64)).collect();
+        let seq_b: Vec<AppendVerdict> = (0..400).map(|_| b.on_append(64)).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|v| *v != AppendVerdict::Write));
+        assert!(seq_a.contains(&AppendVerdict::Write));
+        let syncs_a: Vec<SyncVerdict> = (0..400).map(|_| a.on_sync()).collect();
+        let syncs_b: Vec<SyncVerdict> = (0..400).map(|_| b.on_sync()).collect();
+        assert_eq!(syncs_a, syncs_b);
+        assert!(syncs_a.contains(&SyncVerdict::Fail));
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub mod timer;
 pub mod workload;
 
 pub use clock::{Clock, ManualClock, SharedClock, SimTime, SystemClock};
-pub use fault::{Fault, FaultPlan, Injection, StormProfile};
+pub use fault::{
+    AppendVerdict, DiskFault, DiskFaultPlan, DiskStormProfile, Fault, FaultPlan, Injection,
+    StormProfile, SyncVerdict,
+};
 pub use infogram_obs::stats;
 pub use par::{fan_out, fan_out_bounded};
 pub use rng::SplitMix64;

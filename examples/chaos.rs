@@ -3,10 +3,15 @@
 //!
 //! Every provider execution rolls the storm dice — 10% fail, 2% hang,
 //! 5% run slow — while a real client hammers queries and submits a few
-//! jobs over the in-memory network. The run must finish with zero
-//! panics and a bounded error rate: the fault-domain supervisor turns
-//! provider carnage into retries and honestly-tagged stale answers,
-//! not INTERNAL errors.
+//! jobs over the in-memory network. The service's WAL rides on a
+//! fault-injected disk of its own (failed appends, short writes,
+//! failed fsyncs), so job submissions can be honestly refused with
+//! `UNAVAILABLE` + a retry hint while the log is read-only. The run
+//! must finish with zero panics, a bounded query-error rate, and every
+//! submission eventually accepted once the log heals: the fault-domain
+//! supervisor turns provider carnage into retries and honestly-tagged
+//! stale answers, and the WAL turns disk carnage into bounded
+//! read-only windows — never INTERNAL errors or silent acks.
 //!
 //! The storm is seeded: the seed is printed up front and can be pinned
 //! with `SEED=<n>` to replay a failing run exactly (same draws, same
@@ -14,11 +19,13 @@
 //!
 //! Driven by `scripts/chaos_smoke.sh`.
 
+use infogram::exec::{FrameWal, MemStorage, WalConfig, WalStorage};
 use infogram::info::config::{ServiceConfig, TABLE1_TEXT};
-use infogram::proto::message::JobStateCode;
+use infogram::proto::message::{codes, JobStateCode};
 use infogram::quickstart::{Sandbox, SandboxConfig};
-use infogram::sim::fault::{FaultPlan, StormProfile};
+use infogram::sim::fault::{DiskFaultPlan, DiskStormProfile, FaultPlan, StormProfile};
 use infogram_client::ClientError;
+use std::sync::Arc;
 use std::time::Duration;
 
 const KEYWORDS: [&str; 5] = ["Date", "Memory", "CPU", "CPULoad", "list"];
@@ -45,8 +52,27 @@ fn main() {
     for kw in KEYWORDS {
         text.push_str(&format!("@degradation {kw} linear 5000\n"));
     }
+    // The WAL's disk weathers its own (milder) storm: occasional failed
+    // appends / short writes / failed fsyncs flip the job log read-only
+    // for its retry window; submissions then get UNAVAILABLE with a
+    // retry hint instead of a silent ack.
+    let disk_plan = DiskFaultPlan::storm(
+        seed.wrapping_add(0xd15c),
+        DiskStormProfile {
+            fail_p: 0.005,
+            short_p: 0.002,
+            fsync_fail_p: 0.005,
+        },
+    );
+    let disk = MemStorage::with_plan(Some(Arc::clone(&disk_plan)));
+    let wal_sink = FrameWal::open(
+        Arc::clone(&disk) as Arc<dyn WalStorage>,
+        WalConfig::default(),
+    )
+    .expect("open wal");
     let sandbox = Sandbox::start_with(SandboxConfig {
         config: ServiceConfig::parse(&text).expect("config"),
+        wal_sink: Some(Box::new(wal_sink)),
         ..Default::default()
     });
     let mut client = sandbox.connect_client();
@@ -73,6 +99,7 @@ fn main() {
     let mut errors = 0u64;
     let mut jobs_done = 0u64;
     let mut jobs_failed = 0u64;
+    let mut wal_rejected = 0u64;
     for round in 0..rounds {
         for kw in KEYWORDS {
             queries += 1;
@@ -87,12 +114,31 @@ fn main() {
             }
         }
         // A few jobs ride along; the storm may legitimately fail them
-        // (simwork runs through the same fault-injected registry), but
-        // submit/status/wait must keep working.
+        // (simwork runs through the same fault-injected registry), and
+        // the disk storm may refuse them while the log is read-only —
+        // but refusal is UNAVAILABLE with a retry hint, the window is
+        // bounded, and a retried submission must land.
         if round % 8 == 0 {
-            let handle = client
-                .submit("(executable=simwork)(arguments=5)", false)
-                .expect("submit");
+            let mut handle = None;
+            for _attempt in 0..15 {
+                match client.submit("(executable=simwork)(arguments=5)", false) {
+                    Ok(h) => {
+                        handle = Some(h);
+                        break;
+                    }
+                    Err(ClientError::Server { code, message }) if code == codes::UNAVAILABLE => {
+                        assert!(
+                            message.contains("retry-after-ms="),
+                            "read-only refusal lacks a retry hint: {message} (seed {seed})"
+                        );
+                        wal_rejected += 1;
+                        std::thread::sleep(Duration::from_millis(300));
+                    }
+                    Err(other) => panic!("round {round}: submit failed: {other}"),
+                }
+            }
+            let handle =
+                handle.unwrap_or_else(|| panic!("read-only window never healed (seed {seed})"));
             let (state, _, _) = client
                 .wait_terminal(&handle, Duration::from_millis(2), Duration::from_secs(5))
                 .expect("wait_terminal");
@@ -103,12 +149,18 @@ fn main() {
             }
         }
     }
+    let wal_append_errors = sandbox
+        .service
+        .engine()
+        .metrics()
+        .counter_value("wal.append_errors");
     sandbox.shutdown();
 
     let error_rate = errors as f64 / queries as f64;
     println!(
         "chaos: {queries} queries -> {fresh} fresh, {stale} stale, {errors} errors \
-         (rate {:.3}); jobs: {jobs_done} done, {jobs_failed} failed",
+         (rate {:.3}); jobs: {jobs_done} done, {jobs_failed} failed; \
+         wal: {wal_append_errors} disk faults, {wal_rejected} read-only refusals",
         error_rate
     );
     // The supervisor's whole job: provider faults at 10% must not show

@@ -3,9 +3,11 @@
 # storm (examples/chaos.rs).
 #
 # Each run draws a fresh storm seed (printed up front), hammers the
-# service through a real client while 10% of provider executions fail,
-# and asserts zero panics plus a bounded query-error rate. To replay a
-# failing run exactly:
+# service through a real client while 10% of provider executions fail
+# and the WAL's disk throws its own seeded faults (failed appends,
+# short writes, failed fsyncs — submissions refused UNAVAILABLE while
+# the log is read-only must land on retry), and asserts zero panics
+# plus a bounded query-error rate. To replay a failing run exactly:
 #
 #   SEED=<printed seed> scripts/chaos_smoke.sh
 #

@@ -13,13 +13,17 @@
 #   6. scripts/check_model.sh — bounded schedule-exploration model
 #      checking of the concurrency core (seconds; EXHAUSTIVE=1 for the
 #      unbounded sweep)
-#   7. scripts/bench_smoke.sh — quick E16 + E17 + E18 + E19 runs
+#   7. scripts/check_crash.sh — crash consistency: restart-recovery
+#      and WAL crash-point suites plus the quick E20 crash storm under
+#      injected disk faults (writes BENCH_crash_storm.json)
+#   8. scripts/bench_smoke.sh — quick E16 + E17 + E18 + E19 runs
 #      gating on the fan-out, fault-storm, refresh-scheduler and
 #      push-subscription acceptance criteria (writes
 #      BENCH_parallel_fanout.json, BENCH_fault_storm.json,
 #      BENCH_refresh_sched.json and BENCH_push_sub.json)
-#   8. scripts/chaos_smoke.sh — the full sandbox under a seeded random
-#      fault storm: zero panics, bounded error rate, replayable seed
+#   9. scripts/chaos_smoke.sh — the full sandbox under a seeded random
+#      fault + disk-fault storm: zero panics, bounded error rate,
+#      replayable seed
 #
 # Works fully offline; expect a few minutes on a cold target dir.
 
@@ -41,6 +45,8 @@ cargo test --workspace -q
 sh scripts/check_lockdep.sh
 
 sh scripts/check_model.sh
+
+sh scripts/check_crash.sh
 
 sh scripts/bench_smoke.sh
 

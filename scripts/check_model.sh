@@ -21,6 +21,10 @@
 #     in-order fan-out under concurrent notifies, a joiner racing a
 #     notify always starts from a snapshot, eviction under a scheduler
 #     tick never deadlocks against a joining subscriber)
+#   - tests/model_wal.rs (the WAL group-commit protocol: a seeded
+#     ack-before-durable leader regression, the shipped Wal never
+#     acks a commit before its bytes are fsynced and never loses a
+#     ticket under racing submitters, fsync-failure honesty)
 #
 # plus clippy over the `model` feature configuration, which the default
 # gate never compiles.
@@ -60,5 +64,8 @@ cargo test -p infogram --features model --test model_sched -q
 
 echo "==> model suite: tests/model_sub.rs (${MODE})"
 cargo test -p infogram --features model --test model_sub -q
+
+echo "==> model suite: tests/model_wal.rs (${MODE})"
+cargo test -p infogram --features model --test model_wal -q
 
 echo "==> model checking green (${MODE})"

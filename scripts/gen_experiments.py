@@ -238,6 +238,22 @@ ORDER = [
      "microseconds. Smoke gate: `scripts/bench_smoke.sh` runs the quick "
      "variant (10k subscriptions) and fails unless `BENCH_push_sub.json` "
      "reports `pass: true`."),
+    ("E20", "E20 — crash storm: the WAL under injected disk faults",
+     "Paper claim (\u00a76): `Logging and check pointing is enabled through "
+     "a logging service ... the log can be used to restart our InfoGRAM "
+     "service`. This measures the reproduction's crash-consistent WAL "
+     "(DESIGN.md \u00a714) under a seeded disk-fault storm — failed appends, "
+     "short writes, failed fsyncs, a mid-storm power loss — not just a "
+     "clean restart (that is E10).",
+     "Measured: every acked submission survives the power loss, no job "
+     "observed terminal before the crash is resurrected, recovery replays "
+     "checkpoint + a bounded tail (not the whole history) in "
+     "sub-millisecond time, faulty-disk windows surface as honest "
+     "UNAVAILABLE refusals rather than silent acks, and the entire run — "
+     "acks, refusals, outcomes, recovery stats — replays byte-identically "
+     "from its seed. Gate: `scripts/check_crash.sh` runs the quick "
+     "variant plus the crash-point test suites and fails unless "
+     "`BENCH_crash_storm.json` reports `pass: true`."),
 ]
 
 out = []
@@ -247,7 +263,7 @@ Every artifact of the paper's evaluation (Table 1 and Figures 1–4 — the
 paper's evaluation is architectural/qualitative; it reports **no**
 quantitative tables) and every quantitative *claim* in its prose (E5–E15),
 plus the reproduction's own performance and resilience properties
-(E16–E19), is regenerated by a dedicated benchmark target. This file
+(E16–E20), is regenerated by a dedicated benchmark target. This file
 pairs each with its measured outcome.
 
 Reproduce everything with:
@@ -286,6 +302,7 @@ Summary of shapes:
 | E17 | (ours) failures must degrade, not error | ≥99% availability under a seeded 10% failure storm; deterministic replay |
 | E18 | (ours) refresh on demand, not on a timer | ≥99.9% hit rate with strictly fewer executions than TTL polling |
 | E19 | (ours) push subscriptions must not miss updates | 2M deliveries, zero gaps; fan-out ∝ subscribers-of-keyword, ~µs p99 each |
+| E20 | restart from the log, on a disk that lies | zero acked-loss / zero resurrections through a mid-storm power loss; checkpoint + bounded-tail replay |
 """)
 
 missing = []

@@ -228,6 +228,9 @@ proptest! {
                     wall_seconds,
                 }),
                 WalEvent::InfoQueried { .. } => events.push(n),
+                // A checkpoint would (by design) replace the planned
+                // history — not noise; skip it.
+                WalEvent::Checkpoint(_) => {}
             }
         }
         let state = RecoveredState::from_events(&events);
